@@ -1,0 +1,147 @@
+// Command benchmark regenerates the tables and figures of the paper's
+// evaluation (§5.3): execution times of Dep-Miner, Dep-Miner 2 and TANE,
+// and real-world Armstrong relation sizes, over the synthetic workload
+// grid.
+//
+// Usage:
+//
+//	benchmark -experiment table3            # quick (laptop) grid
+//	benchmark -experiment figure5 -full     # the paper's 100k × 60 grid
+//	benchmark -experiment all -csv out.csv  # everything, plus raw CSV
+//
+// Absolute times differ from the paper's 350 MHz testbed; the shape checks
+// printed after each experiment verify the qualitative claims instead.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (table3..5, figure2..7) or 'all' or 'list'")
+		full       = flag.Bool("full", false, "run the paper-scale grid (100k tuples × 60 attrs) instead of the quick grid")
+		timeout    = flag.Duration("timeout", 2*time.Hour, "per-algorithm-run cutoff producing '*' cells, as in the paper")
+		seed       = flag.Uint64("seed", 1, "dataset seed")
+		csvOut     = flag.String("csv", "", "also append raw cell measurements as CSV to this file")
+		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+	if err := run(*experiment, *full, *timeout, *seed, *csvOut, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id string, full bool, timeout time.Duration, seed uint64, csvOut string, quiet bool) error {
+	if id == "list" {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	var selected []bench.Experiment
+	if id == "all" {
+		selected = bench.Experiments
+	} else {
+		for _, part := range strings.Split(id, ",") {
+			e, ok := bench.Lookup(strings.TrimSpace(part))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -experiment list)", part)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var csvFile *os.File
+	if csvOut != "" {
+		f, err := os.OpenFile(csvOut, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	// Grid runs are cached by correlation: every table and its figures
+	// share one grid, so "all" runs three grids, not nine.
+	type key struct {
+		c    float64
+		full bool
+	}
+	cache := map[key]*bench.Result{}
+
+	for _, e := range selected {
+		cfg := bench.ConfigFor(e, full, timeout, seed)
+		if !quiet {
+			cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+		}
+		k := key{e.Correlation, full}
+		res, ok := cache[k]
+		// A cached table grid covers figure projections (figure-time
+		// uses a subset of attribute columns).
+		if ok && e.Kind == "figure-time" {
+			res = project(res, cfg.AttrCounts)
+		} else if !ok {
+			// Run the widest grid (table layout) so figures can reuse it.
+			tableCfg := bench.ConfigFor(bench.Experiment{Correlation: e.Correlation, Kind: "table"}, full, timeout, seed)
+			tableCfg.Progress = cfg.Progress
+			fmt.Fprintf(os.Stderr, "running grid c=%.0f%% (%d×%d cells)...\n",
+				e.Correlation*100, len(tableCfg.RowCounts), len(tableCfg.AttrCounts))
+			fullRes, err := bench.Run(context.Background(), tableCfg)
+			if err != nil {
+				return err
+			}
+			cache[k] = fullRes
+			res = fullRes
+			if e.Kind == "figure-time" {
+				res = project(fullRes, cfg.AttrCounts)
+			}
+		}
+
+		fmt.Printf("\n=== %s ===\n\n", e.Title)
+		fmt.Print(bench.Format(e, res))
+		if e.Kind == "table" {
+			fmt.Println("\nshape checks:")
+			for _, s := range bench.ShapeChecks(res) {
+				fmt.Println("  " + s)
+			}
+		}
+		if csvFile != nil {
+			if _, err := csvFile.WriteString(bench.CSV(res)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// project restricts a grid result to a subset of its attribute columns.
+func project(res *bench.Result, attrs []int) *bench.Result {
+	idx := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		for ai, have := range res.Config.AttrCounts {
+			if have == a {
+				idx = append(idx, ai)
+			}
+		}
+	}
+	out := &bench.Result{Config: res.Config}
+	out.Config.AttrCounts = attrs
+	out.Cells = make([][]*bench.Cell, len(res.Cells))
+	for ri := range res.Cells {
+		row := make([]*bench.Cell, 0, len(idx))
+		for _, ai := range idx {
+			row = append(row, res.Cells[ri][ai])
+		}
+		out.Cells[ri] = row
+	}
+	return out
+}

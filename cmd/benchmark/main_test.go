@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), errRun
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("list", false, time.Minute, 1, "", true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table3", "table4", "table5", "figure2", "figure7"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("tableX", false, time.Minute, 1, "", true)
+	}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	res := &bench.Result{
+		Config: bench.Config{
+			RowCounts:  []int{10, 20},
+			AttrCounts: []int{3, 5, 7},
+		},
+		Cells: [][]*bench.Cell{
+			{{Attrs: 3}, {Attrs: 5}, {Attrs: 7}},
+			{{Attrs: 3}, {Attrs: 5}, {Attrs: 7}},
+		},
+	}
+	p := project(res, []int{3, 7})
+	if len(p.Config.AttrCounts) != 2 {
+		t.Fatalf("projected attrs = %v", p.Config.AttrCounts)
+	}
+	for ri := range p.Cells {
+		if len(p.Cells[ri]) != 2 || p.Cells[ri][0].Attrs != 3 || p.Cells[ri][1].Attrs != 7 {
+			t.Fatalf("projection wrong: %+v", p.Cells[ri])
+		}
+	}
+}
+
+// TestRunTinyExperimentEndToEnd exercises the full path with a shrunken
+// grid by temporarily pointing the quick grid at a micro workload via the
+// experiment machinery (uses figure3, whose grid is the table grid).
+func TestRunTinyExperimentEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real grid")
+	}
+	csvPath := filepath.Join(t.TempDir(), "cells.csv")
+	out, err := capture(t, func() error {
+		return run("table3", false, 30*time.Second, 1, csvPath, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 3", "Dep-Miner 2", "shape checks:", "Armstrong"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "c,rows,attrs") {
+		t.Errorf("csv header wrong: %q", string(data[:40]))
+	}
+}

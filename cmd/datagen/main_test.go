@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "data.csv")
+	if err := run(4, 50, 0.5, 7, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := depminer.LoadCSV(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != 50 || r.Arity() != 4 {
+		t.Errorf("shape %dx%d", r.Rows(), r.Arity())
+	}
+	if r.Name(0) != "A" || r.Name(3) != "D" {
+		t.Errorf("names = %v", r.Names())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "1.csv")
+	p2 := filepath.Join(dir, "2.csv")
+	if err := run(3, 20, 0.3, 9, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(3, 20, 0.3, 9, p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if string(b1) != string(b2) {
+		t.Error("same spec+seed produced different files")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(-1, 10, 0, 1, ""); err == nil {
+		t.Error("negative attrs accepted")
+	}
+	if err := run(2, 10, 2.0, 1, ""); err == nil {
+		t.Error("correlation > 1 accepted")
+	}
+	if err := run(2, 10, 0, 1, filepath.Join(t.TempDir(), "no", "such", "dir", "f.csv")); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := run(2, 3, 0, 1, "")
+	w.Close()
+	os.Stdout = old
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	if !strings.HasPrefix(string(buf[:n]), "A,B\n") {
+		t.Errorf("stdout output:\n%s", buf[:n])
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), errRun
+}
+
+func paperCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "paper.csv")
+	data := "empnum,depnum,year,depname,mgr\n" +
+		"1,1,85,Biochemistry,5\n1,5,94,Admission,12\n2,2,92,Computer Sce,2\n" +
+		"3,2,98,Computer Sce,2\n4,3,98,Geophysics,2\n5,1,75,Biochemistry,5\n6,5,88,Admission,12\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPaperExample(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(false, "depminer", "auto", time.Minute, true, true, true, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"14 minimal functional dependencies",
+		"depnum,year → empnum",
+		"Armstrong relation (real-world, 4 tuples",
+		"candidate keys",
+		"couples=6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSVFile(t *testing.T) {
+	csv := paperCSV(t)
+	for _, algo := range []string{"depminer", "depminer2", "naive", "fastfds"} {
+		out, err := capture(t, func() error {
+			return run(false, algo, "none", time.Minute, false, false, false, []string{csv})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out, "BC → A") {
+			t.Errorf("%s: output missing BC → A:\n%s", algo, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run(false, "bogus", "auto", time.Minute, false, false, true, nil)
+	}); err == nil {
+		t.Error("unknown algo accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run(false, "depminer", "bogus", time.Minute, false, false, true, nil)
+	}); err == nil {
+		t.Error("unknown armstrong mode accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run(false, "depminer", "auto", time.Minute, false, false, true, []string{"a", "b"})
+	}); err == nil {
+		t.Error("two files accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run(false, "depminer", "auto", time.Minute, false, false, true, []string{"/nonexistent.csv"})
+	}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunStreamed(t *testing.T) {
+	csv := paperCSV(t)
+	out, err := capture(t, func() error {
+		return runStreamed(false, "depminer2", time.Minute, true, []string{csv})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "14 minimal functional dependencies") {
+		t.Errorf("streamed output wrong:\n%s", out)
+	}
+	if _, err := capture(t, func() error {
+		return runStreamed(false, "fastfds", time.Minute, true, []string{csv})
+	}); err == nil {
+		t.Error("-stream with fastfds accepted")
+	}
+	if _, err := capture(t, func() error {
+		return runStreamed(false, "depminer", time.Minute, true, nil)
+	}); err == nil {
+		t.Error("-stream without file accepted")
+	}
+}

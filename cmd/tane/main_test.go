@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), errRun
+}
+
+func TestRunExactPaperExample(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(false, 0, 0, time.Minute, true, false, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "14 minimal functional dependencies") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "BC → A") {
+		t.Error("letter notation missing")
+	}
+	if !strings.Contains(out, "lattice:") {
+		t.Error("stats missing")
+	}
+}
+
+func TestRunApproximate(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(false, 0.3, 0, time.Minute, false, true, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "approximate dependencies (g3 ≤ 0.3)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunCSVAndErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,x\n2,x\n3,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run(false, 0, 1, time.Minute, false, true, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "a → b") {
+		t.Errorf("output:\n%s", out)
+	}
+	if _, err := capture(t, func() error {
+		return run(false, -1, 0, time.Minute, false, true, nil)
+	}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run(false, 0, 0, time.Minute, false, true, []string{"x", "y"})
+	}); err == nil {
+		t.Error("two files accepted")
+	}
+}

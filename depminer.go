@@ -1,0 +1,294 @@
+// Package depminer is a from-scratch Go implementation of Dep-Miner
+// (Lopes, Petit, Lakhal: "Efficient Discovery of Functional Dependencies
+// and Armstrong Relations", EDBT 2000): discovery of all minimal
+// non-trivial functional dependencies of a relation instance, combined —
+// at no extra cost — with the construction of a real-world Armstrong
+// relation, a small sample of the original data satisfying exactly the
+// same dependencies.
+//
+// The package also ships the TANE baseline the paper compares against
+// (including its approximate-dependency mode), the synthetic benchmark
+// generator of the paper's evaluation, and schema normalisation (3NF/BCNF)
+// for the logical-tuning workflow the paper motivates.
+//
+// # Quick start
+//
+//	r, err := depminer.LoadCSVFile("employees.csv", true)
+//	if err != nil { ... }
+//	res, err := depminer.Discover(ctx, r, depminer.Options{})
+//	if err != nil { ... }
+//	for _, f := range res.FDs {
+//	    fmt.Println(f.Names(r.Names()))
+//	}
+//	fmt.Println(res.Armstrong) // the sample relation
+//
+// The heavy lifting lives in the internal packages (one per subsystem of
+// the paper — see DESIGN.md); this package is the stable surface.
+package depminer
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/armstrong"
+	"repro/internal/attrset"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/fastfds"
+	"repro/internal/fd"
+	"repro/internal/incremental"
+	"repro/internal/ind"
+	"repro/internal/keys"
+	"repro/internal/normalize"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/tane"
+)
+
+// Relation is a dictionary-encoded in-memory relation instance.
+type Relation = relation.Relation
+
+// AttrSet is a set of attribute (column) indices, the currency of all
+// discovery results.
+type AttrSet = attrset.Set
+
+// AttrSetFamily is an ordered collection of attribute sets.
+type AttrSetFamily = attrset.Family
+
+// FD is a functional dependency X → A with a single right-hand-side
+// attribute.
+type FD = fd.FD
+
+// Cover is a list of FDs interpreted as a dependency set.
+type Cover = fd.Cover
+
+// MaxAttrs is the largest schema width supported (attribute sets are
+// fixed-width bit vectors).
+const MaxAttrs = attrset.MaxAttrs
+
+// NewRelation builds a relation from attribute names and string rows.
+func NewRelation(names []string, rows [][]string) (*Relation, error) {
+	return relation.FromRows(names, rows)
+}
+
+// LoadCSV reads a relation from CSV data. If header is true, the first
+// record names the attributes.
+func LoadCSV(r io.Reader, header bool) (*Relation, error) {
+	return relation.Load(r, header)
+}
+
+// LoadCSVFile reads a relation from a CSV file.
+func LoadCSVFile(path string, header bool) (*Relation, error) {
+	return relation.LoadFile(path, header)
+}
+
+// PaperExample returns the 7-tuple employee relation used as the running
+// example throughout the Dep-Miner paper.
+func PaperExample() *Relation { return relation.PaperExample() }
+
+// Algorithm selects the agree-set computation of the Dep-Miner pipeline.
+type Algorithm = core.AgreeAlgorithm
+
+const (
+	// DepMiner is Algorithm 2 of the paper (couples of maximal
+	// equivalence classes) — the evaluation's "Dep-Miner".
+	DepMiner = core.AgreeCouples
+	// DepMiner2 is Algorithm 3 (equivalence-class identifier
+	// intersection) — the evaluation's "Dep-Miner 2", preferable on
+	// large or highly correlated relations.
+	DepMiner2 = core.AgreeIdentifiers
+	// NaiveBaseline is the O(n·p²) pairwise scan, for comparison only.
+	NaiveBaseline = core.AgreeNaive
+)
+
+// ArmstrongMode selects how the Armstrong relation is built.
+type ArmstrongMode = core.ArmstrongMode
+
+const (
+	// ArmstrongRealWorldOrSynthetic builds a real-world Armstrong
+	// relation, falling back to the synthetic integer construction if
+	// some attribute lacks distinct values (the default).
+	ArmstrongRealWorldOrSynthetic = core.ArmstrongRealWorldOrSynthetic
+	// ArmstrongRealWorld fails if the real-world construction is
+	// impossible (paper Proposition 1).
+	ArmstrongRealWorld = core.ArmstrongRealWorld
+	// ArmstrongSynthetic always uses the integer construction.
+	ArmstrongSynthetic = core.ArmstrongSynthetic
+	// ArmstrongNone skips the Armstrong relation.
+	ArmstrongNone = core.ArmstrongNone
+)
+
+// Options configure Discover. The zero value runs the paper's Dep-Miner
+// configuration and builds a real-world Armstrong relation with synthetic
+// fallback.
+type Options = core.Options
+
+// Result is the outcome of a discovery run: the canonical FD cover, the
+// intermediate set families (agree sets, maximal sets, per-attribute
+// LHSs), the Armstrong relation and per-phase timings.
+type Result = core.Result
+
+// Discover runs the Dep-Miner pipeline: agree sets from stripped
+// partitions, maximal sets, minimal transversals, minimal FDs, and the
+// Armstrong relation.
+func Discover(ctx context.Context, r *Relation, opts Options) (*Result, error) {
+	return core.Discover(ctx, r, opts)
+}
+
+// TANEOptions configure DiscoverTANE.
+type TANEOptions = tane.Options
+
+// TANEResult is the outcome of a TANE run.
+type TANEResult = tane.Result
+
+// DiscoverTANE runs the TANE baseline (Huhtala et al. 1998): levelwise
+// lattice search with partition products and rhs⁺ pruning. With
+// Epsilon > 0 it discovers approximate dependencies (g₃ error ≤ ε).
+func DiscoverTANE(ctx context.Context, r *Relation, opts TANEOptions) (*TANEResult, error) {
+	return tane.Run(ctx, r, opts)
+}
+
+// RealWorldArmstrong builds a real-world Armstrong relation for the given
+// relation and maximal sets (as found in Result.MaxSets). It fails with a
+// descriptive error when paper Proposition 1 does not hold.
+func RealWorldArmstrong(r *Relation, maxSets AttrSetFamily) (*Relation, error) {
+	return armstrong.RealWorld(r, maxSets)
+}
+
+// SyntheticArmstrong builds the classical integer Armstrong relation for
+// the given maximal sets.
+func SyntheticArmstrong(maxSets AttrSetFamily, names []string) (*Relation, error) {
+	return armstrong.Synthetic(maxSets, names)
+}
+
+// GenerateSpec describes a synthetic benchmark relation (paper §5.2):
+// |R| attributes, |r| tuples, correlation c (the rate of identical
+// values).
+type GenerateSpec = datagen.Spec
+
+// Generate materialises a deterministic synthetic benchmark relation.
+func Generate(spec GenerateSpec) (*Relation, error) {
+	return datagen.Generate(spec)
+}
+
+// PlantedSpec describes a synthetic relation with known embedded FDs, for
+// recall testing and demos: each planted X → A makes column A a
+// deterministic function of the X columns.
+type PlantedSpec = datagen.PlantedSpec
+
+// GeneratePlanted materialises a relation with the spec's planted FDs
+// holding by construction (acyclic plants only).
+func GeneratePlanted(spec PlantedSpec) (*Relation, error) {
+	return datagen.GeneratePlanted(spec)
+}
+
+// Schema is a fragment of a normalised schema.
+type Schema = normalize.Schema
+
+// Decomposition is the result of a normalisation.
+type Decomposition = normalize.Decomposition
+
+// SynthesizeThreeNF synthesises a lossless-join, dependency-preserving
+// 3NF decomposition from a discovered cover.
+func SynthesizeThreeNF(cover Cover, arity int) *Decomposition {
+	return normalize.ThreeNF(cover, arity)
+}
+
+// DecomposeBCNF computes a lossless-join BCNF decomposition from a
+// discovered cover. Exponential in schema width; capped at 24 attributes.
+func DecomposeBCNF(cover Cover, arity int) (*Decomposition, error) {
+	return normalize.BCNF(cover, arity)
+}
+
+// Verify reports whether every FD of the cover holds in the relation,
+// returning the first violated FD otherwise.
+func Verify(r *Relation, c Cover) (bool, FD) {
+	return fd.AllHold(r, c)
+}
+
+// ParseFD parses a textual dependency like "depnum, year -> empnum",
+// resolving attribute names against the schema. An empty left-hand side
+// denotes a constant column.
+func ParseFD(line string, names []string) (FD, error) {
+	return fd.ParseFD(line, names)
+}
+
+// ParseCover reads one FD per line (blank lines and '#' comments
+// skipped).
+func ParseCover(r io.Reader, names []string) (Cover, error) {
+	return fd.ParseCover(r, names)
+}
+
+// IND is an inclusion dependency between attribute sequences of (possibly
+// different) relations — the foreign-key shape.
+type IND = ind.IND
+
+// INDOptions configure inclusion-dependency discovery.
+type INDOptions = ind.Options
+
+// INDResult is the outcome of inclusion-dependency discovery.
+type INDResult = ind.Result
+
+// DiscoverINDs finds unary and n-ary inclusion dependencies within and
+// across the given relations (KMRS92-style): the foreign keys joining the
+// fragments a normalisation produces.
+func DiscoverINDs(ctx context.Context, rels []*Relation, opts INDOptions) (*INDResult, error) {
+	return ind.Discover(ctx, rels, opts)
+}
+
+// KeysResult is the outcome of candidate-key discovery.
+type KeysResult = keys.Result
+
+// DiscoverKeys finds the minimal candidate keys (minimal unique column
+// combinations) of the relation instance with a levelwise partition
+// search. For duplicate-free relations these coincide with the keys of
+// the discovered FD cover.
+func DiscoverKeys(ctx context.Context, r *Relation) (*KeysResult, error) {
+	return keys.Discover(ctx, r)
+}
+
+// FastFDsResult is the outcome of the depth-first difference-set miner.
+type FastFDsResult = fastfds.Result
+
+// DiscoverFastFDs mines the same canonical cover as Discover with a
+// FastFDs-style depth-first search over difference sets (Wyss et al.
+// 2001) instead of the levelwise transversal search — preferable when the
+// levelwise candidate levels grow too wide.
+func DiscoverFastFDs(ctx context.Context, r *Relation) (*FastFDsResult, error) {
+	return fastfds.Run(ctx, r)
+}
+
+// IncrementalMiner maintains FD discovery state under tuple insertions:
+// ag(r) is updated per insert, and the cover is re-derived on demand at a
+// cost independent of |r|.
+type IncrementalMiner = incremental.Miner
+
+// NewIncrementalMiner creates an empty incremental miner for a schema.
+func NewIncrementalMiner(names []string) (*IncrementalMiner, error) {
+	return incremental.New(names)
+}
+
+// IncrementalFromRelation creates an incremental miner pre-loaded with a
+// relation's tuples.
+func IncrementalFromRelation(r *Relation) (*IncrementalMiner, error) {
+	return incremental.FromRelation(r)
+}
+
+// StreamedDatabase is a stripped partition database built from a CSV
+// stream in one pass, without materialising the relation.
+type StreamedDatabase = partition.StreamResult
+
+// StreamCSV extracts the stripped partition database from CSV data in
+// bounded memory (per-column dictionaries and tuple-id buckets only); the
+// result feeds DiscoverStreamed. Real-world Armstrong relations are
+// unavailable on this path because cell values are not retained.
+func StreamCSV(r io.Reader, header bool) (*StreamedDatabase, error) {
+	return partition.Stream(r, header)
+}
+
+// DiscoverStreamed runs FD discovery (steps 1–4; the Armstrong option is
+// ignored since original values are unavailable) on a streamed partition
+// database.
+func DiscoverStreamed(ctx context.Context, db *StreamedDatabase, opts Options) (*Result, error) {
+	return core.DiscoverFromDatabase(ctx, db.DB, opts)
+}

@@ -1,0 +1,117 @@
+package depminer
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart walks the documented quick-start path end to
+// end through the public surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	r := PaperExample()
+	res, err := Discover(context.Background(), r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FDs) != 14 {
+		t.Fatalf("FDs = %d, want 14", len(res.FDs))
+	}
+	if res.Armstrong == nil || res.Armstrong.Rows() != 4 {
+		t.Fatal("Armstrong relation missing")
+	}
+	ok, bad := Verify(r, res.FDs)
+	if !ok {
+		t.Fatalf("discovered FD %s does not hold", bad)
+	}
+	rendered := res.FDs[0].Names(r.Names())
+	if !strings.Contains(rendered, "→") {
+		t.Errorf("rendered FD = %q", rendered)
+	}
+}
+
+func TestPublicAPITANEAgreesWithDepMiner(t *testing.T) {
+	r := PaperExample()
+	dm, err := Discover(context.Background(), r, Options{Armstrong: ArmstrongNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := DiscoverTANE(context.Background(), r, TANEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dm.FDs) != len(tn.FDs) {
+		t.Fatalf("Dep-Miner %d FDs, TANE %d", len(dm.FDs), len(tn.FDs))
+	}
+	for i := range dm.FDs {
+		if dm.FDs[i] != tn.FDs[i] {
+			t.Fatalf("FD %d differs: %s vs %s", i, dm.FDs[i], tn.FDs[i])
+		}
+	}
+}
+
+func TestPublicAPICSVAndGenerate(t *testing.T) {
+	r, err := LoadCSV(strings.NewReader("a,b\n1,x\n2,x\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != 2 {
+		t.Fatal("csv load broken")
+	}
+	g, err := Generate(GenerateSpec{Attrs: 5, Rows: 200, Correlation: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(context.Background(), g, Options{Algorithm: DepMiner2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, bad := Verify(g, res.FDs); !ok {
+		t.Fatalf("FD %s violated on generated data", bad)
+	}
+	if res.Armstrong == nil {
+		t.Fatal("Armstrong relation missing")
+	}
+	if res.Armstrong.Rows() >= g.Rows() {
+		t.Errorf("Armstrong relation (%d rows) not smaller than input (%d)",
+			res.Armstrong.Rows(), g.Rows())
+	}
+}
+
+func TestPublicAPINormalization(t *testing.T) {
+	r := PaperExample()
+	res, err := Discover(context.Background(), r, Options{Armstrong: ArmstrongNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := SynthesizeThreeNF(res.FDs, r.Arity())
+	if len(dec.Schemas) == 0 {
+		t.Fatal("no 3NF schemas")
+	}
+	bc, err := DecomposeBCNF(res.FDs, r.Arity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bc.Schemas) == 0 {
+		t.Fatal("no BCNF schemas")
+	}
+}
+
+func TestPublicAPIArmstrongBuilders(t *testing.T) {
+	r := PaperExample()
+	res, err := Discover(context.Background(), r, Options{Armstrong: ArmstrongNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := RealWorldArmstrong(r, res.MaxSets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := SyntheticArmstrong(res.MaxSets, r.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Rows() != syn.Rows() {
+		t.Error("both constructions must have |MAX|+1 tuples")
+	}
+}

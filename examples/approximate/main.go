@@ -1,0 +1,59 @@
+// Approximate dependencies: the TANE extension the paper's related-work
+// section highlights ("Tane can also provide approximate functional
+// dependencies").
+//
+// Real data is dirty: a dependency that governed the domain may be
+// violated by a handful of mis-entered tuples, so exact discovery misses
+// it. TANE's g3 measure — the fraction of tuples one must delete for the
+// FD to hold — recovers such rules at a tolerance ε.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A sensor inventory where device_id determines model and location —
+	// except for two corrupted rows out of twelve.
+	rows := [][]string{
+		{"d1", "tx100", "hall"}, {"d1", "tx100", "hall"},
+		{"d1", "tx999", "hall"}, // corrupted model
+		{"d2", "tx200", "lab"}, {"d2", "tx200", "lab"},
+		{"d3", "tx100", "roof"}, {"d3", "tx100", "roof"},
+		{"d3", "tx100", "dock"}, // corrupted location
+		{"d4", "tx300", "lab"}, {"d5", "tx200", "hall"},
+		{"d6", "tx300", "roof"}, {"d7", "tx100", "lab"},
+	}
+	r, err := depminer.NewRelation([]string{"device_id", "model", "location"}, rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exact, err := depminer.DiscoverTANE(context.Background(), r, depminer.TANEOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact dependencies (%d):\n", len(exact.FDs))
+	for _, f := range exact.FDs {
+		fmt.Println("  " + f.Names(r.Names()))
+	}
+
+	for _, eps := range []float64{0.05, 0.10, 0.25} {
+		res, err := depminer.DiscoverTANE(context.Background(), r, depminer.TANEOptions{Epsilon: eps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\napproximate dependencies at g3 ≤ %.2f (%d):\n", eps, len(res.FDs))
+		for _, f := range res.FDs {
+			fmt.Println("  " + f.Names(r.Names()))
+		}
+	}
+
+	fmt.Println("\neach corrupted tuple costs g3 = 1/12 ≈ 0.08, so device_id → model and")
+	fmt.Println("device_id → location surface at ε = 0.10 but not at ε = 0.05, while")
+	fmt.Println("exact discovery only finds dependencies that survive the corruption.")
+}

@@ -1,0 +1,108 @@
+// Sampling: measures how small real-world Armstrong relations are
+// relative to their source — the paper's headline usability result
+// (Tables 3(b)/4/5, Figures 3/5/7 report 1/100 to 1/10,000 of the input).
+//
+// The example sweeps the synthetic benchmark generator over growing |r|
+// and prints the Armstrong size next to the input size, demonstrating the
+// sublinear growth the paper observes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("|r| sweep at |R|=15, c=30% (paper Figure 5 shape):")
+	fmt.Printf("%10s  %10s  %8s\n", "|r|", "|armstrong|", "ratio")
+	for _, rows := range []int{1000, 2000, 5000, 10000, 20000} {
+		rel, err := depminer.Generate(depminer.GenerateSpec{
+			Attrs: 15, Rows: rows, Correlation: 0.3, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := depminer.Discover(context.Background(), rel, depminer.Options{
+			Algorithm: depminer.DepMiner2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d  %10d  1:%-6d\n",
+			rows, res.Armstrong.Rows(), rows/res.Armstrong.Rows())
+	}
+
+	fmt.Println("\n|R| sweep at |r|=5000, c=30% (sizes grow with schema width):")
+	fmt.Printf("%10s  %10s\n", "|R|", "|armstrong|")
+	for _, attrs := range []int{5, 10, 15, 20, 25} {
+		rel, err := depminer.Generate(depminer.GenerateSpec{
+			Attrs: attrs, Rows: 5000, Correlation: 0.3, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := depminer.Discover(context.Background(), rel, depminer.Options{
+			Algorithm: depminer.DepMiner2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d  %10d\n", attrs, res.Armstrong.Rows())
+	}
+
+	// Why not just take a random sample of the same size? Because a
+	// random sample satisfies extra, spurious dependencies: with few
+	// rows, accidental agreements vanish and accidental FDs appear. The
+	// Armstrong relation is exact by construction.
+	fmt.Println("\nfidelity: Armstrong sample vs random sample of the same size")
+	rel, err := depminer.Generate(depminer.GenerateSpec{
+		Attrs: 8, Rows: 5000, Correlation: 0.3, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := depminer.Discover(ctx, rel, depminer.Options{Algorithm: depminer.DepMiner2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueFDs := res.FDs
+	arm := res.Armstrong
+
+	spurious := func(sample *depminer.Relation) int {
+		sres, err := depminer.Discover(ctx, sample, depminer.Options{
+			Algorithm: depminer.DepMiner2, Armstrong: depminer.ArmstrongNone,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := 0
+		for _, f := range sres.FDs {
+			// An FD of the sample is spurious if it does not hold in the
+			// full relation.
+			if ok, _ := depminer.Verify(rel, depminer.Cover{f}); !ok {
+				n++
+			}
+		}
+		return n
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	idx := make([]int, arm.Rows())
+	for i := range idx {
+		idx[i] = rng.Intn(rel.Rows())
+	}
+	random := rel.Restrict(idx)
+
+	fmt.Printf("  true minimal FDs of the full relation: %d\n", len(trueFDs))
+	fmt.Printf("  Armstrong sample (%d tuples): %d spurious FDs\n", arm.Rows(), spurious(arm))
+	fmt.Printf("  random sample    (%d tuples): %d spurious FDs\n", random.Rows(), spurious(random))
+
+	fmt.Println("\nThe sample is exact: it satisfies precisely the dependencies of the")
+	fmt.Println("source relation, so a dba can reason about FDs on a few hundred rows")
+	fmt.Println("instead of the full table.")
+}

@@ -1,0 +1,57 @@
+package depminer
+
+import (
+	"context"
+	"os"
+	"testing"
+)
+
+// TestGoldenEmployees pins the end-to-end file path: load the fixture CSV,
+// discover, and compare against the golden FD file (which is itself
+// parsed through the public parser — exercising both directions).
+func TestGoldenEmployees(t *testing.T) {
+	r, err := LoadCSVFile("testdata/employees.csv", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open("testdata/employees.fds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	golden, err := ParseCover(f, r.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.Sort()
+
+	res, err := Discover(context.Background(), r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FDs) != len(golden) {
+		t.Fatalf("discovered %d FDs, golden has %d", len(res.FDs), len(golden))
+	}
+	for i := range golden {
+		if res.FDs[i] != golden[i] {
+			t.Errorf("FD %d: got %s, want %s", i, res.FDs[i], golden[i])
+		}
+	}
+	// The golden cover holds and is exactly minimal.
+	if ok, bad := Verify(r, golden); !ok {
+		t.Errorf("golden FD %s does not hold", bad)
+	}
+	// Armstrong sample is strictly smaller and satisfies the cover.
+	if res.Armstrong.Rows() >= r.Rows() {
+		t.Error("Armstrong relation not smaller than the input")
+	}
+	if ok, bad := Verify(res.Armstrong, golden); !ok {
+		t.Errorf("golden FD %s fails in the Armstrong relation", bad)
+	}
+}
+
+func TestLoadCSVFileMissing(t *testing.T) {
+	if _, err := LoadCSVFile("testdata/nope.csv", true); err == nil {
+		t.Error("missing file accepted")
+	}
+}

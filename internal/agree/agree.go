@@ -1,0 +1,278 @@
+// Package agree computes agree sets ag(r) from stripped partition
+// databases (paper §3.1).
+//
+// The agree set of two tuples is ag(ti,tj) = {A ∈ R | ti[A] = tj[A]};
+// ag(r) collects them over all tuple couples. Three computations are
+// provided:
+//
+//   - Naive: direct O(n·p²) pairwise scan of the relation — the baseline
+//     the paper's introduction rules out for large relations.
+//   - Couples (Algorithm 2 / "Dep-Miner"): generate the tuple couples of
+//     the maximal equivalence classes MC (Lemma 1), then sweep the
+//     stripped partitions once, adding attribute A to ag(t,t') whenever
+//     both tuples share a class of π̂_A. Couples are processed in chunks of
+//     at most ChunkSize to bound memory, exactly like the paper's
+//     "computing agree sets as soon as a fixed number of couples was
+//     generated".
+//   - Identifiers (Algorithm 3 / "Dep-Miner 2"): build, per tuple, the
+//     list ec(t) of equivalence-class identifiers containing t; then
+//     ag(ti,tj) is read off the intersection ec(ti) ∩ ec(tj) (Lemma 2).
+//
+// All three return the deduplicated set family ag(r); the empty agree set
+// is included when some couple of tuples disagrees everywhere, matching
+// the paper's running example where ag(r) = {∅, A, BDE, CE, E}.
+package agree
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/attrset"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// DefaultChunkSize is the default bound on couples materialised at once by
+// the couples algorithm. The paper uses "a threshold (associated to the
+// number of tuples)"; 1<<20 couples ≈ 16 MB of couple state.
+const DefaultChunkSize = 1 << 20
+
+// Result is the outcome of an agree-set computation.
+type Result struct {
+	// Sets is ag(r) deduplicated, in canonical order. It never contains
+	// the full schema R (two distinct tuples of a duplicate-free relation
+	// cannot agree everywhere; duplicates are collapsed by stripped
+	// partitions of the couple generators — see Naive for the exception).
+	Sets attrset.Family
+	// Couples is the number of tuple couples examined.
+	Couples int
+	// Chunks is the number of chunk passes performed (couples algorithm;
+	// 1 otherwise).
+	Chunks int
+}
+
+// Naive computes ag(r) by comparing every couple of distinct tuples
+// directly on the relation: the O(n·p²) baseline. If the relation contains
+// duplicate tuples, the full schema R appears as an agree set; callers that
+// need set semantics should Deduplicate first (discovery treats R as a
+// trivial agree set and CMAX_SET ignores it).
+func Naive(ctx context.Context, r *relation.Relation) (*Result, error) {
+	seen := make(map[attrset.Set]struct{})
+	res := &Result{Chunks: 1}
+	for i := 0; i < r.Rows(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("agree: naive scan cancelled: %w", err)
+		}
+		for j := i + 1; j < r.Rows(); j++ {
+			res.Couples++
+			seen[r.AgreeSet(i, j)] = struct{}{}
+		}
+	}
+	res.Sets = familyOf(seen)
+	return res, nil
+}
+
+// Options configure the stripped-partition algorithms.
+type Options struct {
+	// ChunkSize bounds the couples held in memory at once by Couples.
+	// Zero means DefaultChunkSize.
+	ChunkSize int
+}
+
+func (o Options) chunkSize() int {
+	if o.ChunkSize <= 0 {
+		return DefaultChunkSize
+	}
+	return o.ChunkSize
+}
+
+// couple is an ordered pair of tuple ids (t < u).
+type couple struct{ t, u int }
+
+// generateCouples lists the distinct couples of the classes of MC. MC
+// classes may overlap (two maximal classes of different attributes can
+// share tuples), so the same couple can occur in several classes;
+// duplicates are removed by an encode–sort–compact pass, which profiles
+// far ahead of hash-set deduplication at benchmark scale.
+func generateCouples(mc [][]int) []couple {
+	total := 0
+	for _, c := range mc {
+		total += len(c) * (len(c) - 1) / 2
+	}
+	enc := make([]uint64, 0, total)
+	for _, c := range mc {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				enc = append(enc, uint64(c[i])<<32|uint64(uint32(c[j])))
+			}
+		}
+	}
+	sort.Slice(enc, func(i, j int) bool { return enc[i] < enc[j] })
+	out := make([]couple, 0, len(enc))
+	var prev uint64
+	for i, e := range enc {
+		if i > 0 && e == prev {
+			continue
+		}
+		prev = e
+		out = append(out, couple{int(e >> 32), int(uint32(e))})
+	}
+	return out
+}
+
+// Couples computes ag(r) with Algorithm 2 (AGREE_SET): couples from MC,
+// swept against every stripped partition, chunked to bound memory.
+func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result, error) {
+	mc := db.MaximalClasses()
+	couples := generateCouples(mc)
+	res := &Result{Couples: len(couples)}
+	seen := make(map[attrset.Set]struct{})
+
+	chunk := opts.chunkSize()
+	for start := 0; start < len(couples); start += chunk {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("agree: couples scan cancelled: %w", err)
+		}
+		end := start + chunk
+		if end > len(couples) {
+			end = len(couples)
+		}
+		res.Chunks++
+		processChunk(db, couples[start:end], seen)
+	}
+	if len(couples) == 0 {
+		res.Chunks = 1
+	}
+	addEmptyIfUncovered(db, len(couples), seen)
+	res.Sets = familyOf(seen)
+	return res, nil
+}
+
+// addEmptyIfUncovered inserts the empty agree set when some couple of
+// tuples lies in no MC class, i.e. disagrees on every attribute. Couples
+// inside MC classes always share at least the attribute whose partition
+// produced the class, so ∅ can only arise this way. (The paper's Lemma 1
+// elides this case, but its running example lists ∅ ∈ ag(r), and omitting
+// it would make CMAX_SET wrongly emit ∅ → A for non-constant columns when
+// no non-empty agree set avoids A.)
+func addEmptyIfUncovered(db *partition.Database, covered int, seen map[attrset.Set]struct{}) {
+	total := db.NumRows * (db.NumRows - 1) / 2
+	if covered < total {
+		seen[attrset.Set{}] = struct{}{}
+	}
+}
+
+// processChunk runs lines 10–21 of Algorithm 2 for one chunk of couples:
+// for each stripped partition and each of its classes, add the attribute
+// to the agree set of every chunk couple lying inside the class.
+//
+// To keep the per-class couple lookup sub-quadratic, couples are indexed by
+// their first tuple: for a class c and each t ∈ c, only couples starting at
+// t are probed, and membership of the partner is tested with a per-class
+// mark table — an indexing refinement of the paper's "if t ∈ c and t' ∈ c".
+func processChunk(db *partition.Database, chunk []couple, seen map[attrset.Set]struct{}) {
+	// ag state for the chunk.
+	ag := make([]attrset.Set, len(chunk))
+	// Index couples by first tuple: byFirst[t] slices into couple
+	// indices. chunk arrives sorted by (t, u) from generateCouples, so a
+	// counting layout avoids per-tuple allocations.
+	counts := make([]int32, db.NumRows+1)
+	for _, cp := range chunk {
+		counts[cp.t+1]++
+	}
+	for t := 0; t < db.NumRows; t++ {
+		counts[t+1] += counts[t]
+	}
+	inClass := make([]bool, db.NumRows)
+	for a, p := range db.Attr {
+		for _, cls := range p.Classes {
+			for _, t := range cls {
+				inClass[t] = true
+			}
+			for _, t := range cls {
+				for ci := counts[t]; ci < counts[t+1]; ci++ {
+					if inClass[chunk[ci].u] {
+						ag[ci].Add(a)
+					}
+				}
+			}
+			for _, t := range cls {
+				inClass[t] = false
+			}
+		}
+	}
+	for i := range ag {
+		seen[ag[i]] = struct{}{}
+	}
+}
+
+// Identifiers computes ag(r) with Algorithm 3 (AGREE_SET 2): per-tuple
+// equivalence-class identifier lists, intersected per MC couple (Lemma 2).
+// It is the "Dep-Miner 2" variant of the evaluation, more efficient when
+// equivalence classes are large or numerous.
+func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Result, error) {
+	// ecAttr[t] lists, in increasing attribute order, the attributes A for
+	// which t lies in some class of π̂_A, and ecID[t] the class index
+	// within that partition. Intersecting two tuples' lists by attribute
+	// and comparing class ids implements (A,i) ∈ ec(t) ∩ ec(t').
+	ecAttr := make([][]int32, db.NumRows)
+	ecID := make([][]int32, db.NumRows)
+	for a, p := range db.Attr {
+		for i, cls := range p.Classes {
+			for _, t := range cls {
+				ecAttr[t] = append(ecAttr[t], int32(a))
+				ecID[t] = append(ecID[t], int32(i))
+			}
+		}
+	}
+
+	mc := db.MaximalClasses()
+	couples := generateCouples(mc)
+	res := &Result{Chunks: 1, Couples: len(couples)}
+	seen := make(map[attrset.Set]struct{})
+	for i, cp := range couples {
+		if i&0xFFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("agree: identifier scan cancelled: %w", err)
+			}
+		}
+		var s attrset.Set
+		at, it := ecAttr[cp.t], ecID[cp.t]
+		au, iu := ecAttr[cp.u], ecID[cp.u]
+		x, y := 0, 0
+		for x < len(at) && y < len(au) {
+			switch {
+			case at[x] < au[y]:
+				x++
+			case at[x] > au[y]:
+				y++
+			default:
+				if it[x] == iu[y] {
+					s.Add(int(at[x]))
+				}
+				x++
+				y++
+			}
+		}
+		seen[s] = struct{}{}
+	}
+	addEmptyIfUncovered(db, len(couples), seen)
+	res.Sets = familyOf(seen)
+	return res, nil
+}
+
+// FromRelation is a convenience: builds the stripped partition database and
+// runs the identifier algorithm (the more scalable default).
+func FromRelation(ctx context.Context, r *relation.Relation) (*Result, error) {
+	return Identifiers(ctx, partition.NewDatabase(r), Options{})
+}
+
+func familyOf(seen map[attrset.Set]struct{}) attrset.Family {
+	out := make(attrset.Family, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

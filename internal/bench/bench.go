@@ -1,0 +1,180 @@
+// Package bench is the harness that regenerates every table and figure of
+// the paper's evaluation (§5.3): execution-time comparisons of Dep-Miner,
+// Dep-Miner 2 and TANE, and real-world Armstrong relation sizes, over the
+// synthetic workload grid (|R| × |r| at correlation c ∈ {0, 30%, 50%}).
+//
+// Each experiment is a projection of one grid run:
+//
+//	Table 3 (a/b) — times and sizes at c = 0
+//	Table 4       — times and sizes at c = 30%
+//	Table 5       — times and sizes at c = 50%
+//	Figures 2/4/6 — time-vs-|r| curves at |R| = 10 and |R| = 50 (per c)
+//	Figures 3/5/7 — Armstrong-size-vs-|r| curves per |R| (per c)
+//
+// The default grid is scaled down from the paper's (which goes to 100,000
+// tuples × 60 attributes on a 350 MHz machine) so `go test -bench` and the
+// quick CLI mode finish on a laptop; cmd/benchmark -full runs paper scale.
+// Absolute times are not comparable across hardware; the reproduced claims
+// are the *shapes* — see EXPERIMENTS.md.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/armstrong"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/tane"
+)
+
+// AlgorithmNames, in the paper's presentation order.
+var AlgorithmNames = []string{"Dep-Miner", "Dep-Miner 2", "TANE"}
+
+// Config describes one grid run.
+type Config struct {
+	// Correlation is the c parameter of the generator.
+	Correlation float64
+	// RowCounts and AttrCounts span the grid (the paper uses
+	// 10k..100k × 10..60).
+	RowCounts  []int
+	AttrCounts []int
+	// Timeout bounds each algorithm run, reproducing the paper's
+	// two-hour cutoff (the '*' cells). Zero means no bound.
+	Timeout time.Duration
+	// Seed feeds the deterministic generator.
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress func(string)
+}
+
+// Cell is the measurement for one (|r|, |R|) grid point.
+type Cell struct {
+	Rows, Attrs int
+	// Seconds[i] is the wall-clock time of AlgorithmNames[i]; negative
+	// means the run exceeded the timeout (the paper's '*').
+	Seconds [3]float64
+	// ArmstrongSize is the real-world Armstrong relation tuple count
+	// (|MAX(dep(r))|+1), from the Dep-Miner run (or Dep-Miner 2 when
+	// Dep-Miner timed out; -1 if both did).
+	ArmstrongSize int
+	// FDs is the number of minimal FDs discovered (sanity: all
+	// algorithms agreed).
+	FDs int
+}
+
+// Timed reports whether algorithm i completed within the timeout.
+func (c *Cell) Timed(i int) bool { return c.Seconds[i] >= 0 }
+
+// Result is a completed grid run.
+type Result struct {
+	Config Config
+	// Cells indexed [rowIdx][attrIdx] following Config order.
+	Cells [][]*Cell
+}
+
+// Run executes the grid.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	res := &Result{Config: cfg, Cells: make([][]*Cell, len(cfg.RowCounts))}
+	for ri, rows := range cfg.RowCounts {
+		res.Cells[ri] = make([]*Cell, len(cfg.AttrCounts))
+		for ai, attrs := range cfg.AttrCounts {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("bench: cancelled: %w", err)
+			}
+			cell, err := RunCell(ctx, cfg, rows, attrs)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells[ri][ai] = cell
+			if cfg.Progress != nil {
+				cfg.Progress(fmt.Sprintf("c=%.0f%% |r|=%d |R|=%d: dm=%s dm2=%s tane=%s |arm|=%d",
+					cfg.Correlation*100, rows, attrs,
+					fmtSecs(cell.Seconds[0]), fmtSecs(cell.Seconds[1]), fmtSecs(cell.Seconds[2]),
+					cell.ArmstrongSize))
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunCell measures one grid point: generate the dataset, run the three
+// algorithms under the timeout, and derive the Armstrong size.
+func RunCell(ctx context.Context, cfg Config, rows, attrs int) (*Cell, error) {
+	r, err := datagen.Generate(datagen.Spec{
+		Attrs:       attrs,
+		Rows:        rows,
+		Correlation: cfg.Correlation,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cell := &Cell{Rows: rows, Attrs: attrs, ArmstrongSize: -1, FDs: -1}
+
+	var disagreement error
+	runOne := func(fn func(context.Context) (int, int, error)) float64 {
+		runCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if cfg.Timeout > 0 {
+			runCtx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		}
+		defer cancel()
+		start := time.Now()
+		fds, armSize, err := fn(runCtx)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return -1
+		}
+		// All algorithms that finish must agree on the FD count.
+		if cell.FDs >= 0 && cell.FDs != fds {
+			disagreement = fmt.Errorf("bench: algorithms disagree at |r|=%d |R|=%d: %d vs %d FDs",
+				rows, attrs, cell.FDs, fds)
+		}
+		cell.FDs = fds
+		if armSize >= 0 && cell.ArmstrongSize < 0 {
+			cell.ArmstrongSize = armSize
+		}
+		return elapsed
+	}
+
+	cell.Seconds[0] = runOne(func(runCtx context.Context) (int, int, error) {
+		res, err := core.Discover(runCtx, r, core.Options{
+			Algorithm: core.AgreeCouples,
+			Armstrong: core.ArmstrongNone,
+		})
+		if err != nil {
+			return 0, -1, err
+		}
+		return len(res.FDs), armstrong.Size(res.MaxSets), nil
+	})
+	cell.Seconds[1] = runOne(func(runCtx context.Context) (int, int, error) {
+		res, err := core.Discover(runCtx, r, core.Options{
+			Algorithm: core.AgreeIdentifiers,
+			Armstrong: core.ArmstrongNone,
+		})
+		if err != nil {
+			return 0, -1, err
+		}
+		return len(res.FDs), armstrong.Size(res.MaxSets), nil
+	})
+	cell.Seconds[2] = runOne(func(runCtx context.Context) (int, int, error) {
+		res, err := tane.Run(runCtx, r, tane.Options{})
+		if err != nil {
+			return 0, -1, err
+		}
+		return len(res.FDs), -1, nil
+	})
+	if disagreement != nil {
+		return nil, disagreement
+	}
+	return cell, nil
+}
+
+func fmtSecs(s float64) string {
+	if s < 0 {
+		return "*"
+	}
+	return fmt.Sprintf("%.3fs", s)
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyConfig(c float64) Config {
+	return Config{
+		Correlation: c,
+		RowCounts:   []int{50, 100},
+		AttrCounts:  []int{4, 6},
+		Seed:        1,
+	}
+}
+
+func TestRunGrid(t *testing.T) {
+	res, err := Run(context.Background(), tinyConfig(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 || len(res.Cells[0]) != 2 {
+		t.Fatalf("grid shape wrong")
+	}
+	for ri := range res.Cells {
+		for ai := range res.Cells[ri] {
+			c := res.Cells[ri][ai]
+			for alg := 0; alg < 3; alg++ {
+				if !c.Timed(alg) {
+					t.Errorf("cell %d/%d alg %d timed out without a timeout", ri, ai, alg)
+				}
+			}
+			if c.ArmstrongSize < 1 {
+				t.Errorf("cell %d/%d: Armstrong size %d", ri, ai, c.ArmstrongSize)
+			}
+			if c.FDs < 0 {
+				t.Errorf("cell %d/%d: no FD count", ri, ai)
+			}
+		}
+	}
+}
+
+func TestRunProgressCallback(t *testing.T) {
+	var lines []string
+	cfg := tinyConfig(0)
+	cfg.RowCounts = []int{30}
+	cfg.AttrCounts = []int{3}
+	cfg.Progress = func(s string) { lines = append(lines, s) }
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "|r|=30") {
+		t.Errorf("progress lines = %v", lines)
+	}
+}
+
+func TestTimeoutProducesStarCells(t *testing.T) {
+	cfg := Config{
+		Correlation: 0.5,
+		RowCounts:   []int{3000},
+		AttrCounts:  []int{12},
+		Timeout:     time.Nanosecond, // everything times out
+		Seed:        1,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0][0]
+	for alg := 0; alg < 3; alg++ {
+		if c.Timed(alg) {
+			t.Errorf("alg %d should have timed out", alg)
+		}
+	}
+	if c.ArmstrongSize != -1 {
+		t.Error("Armstrong size should be unknown")
+	}
+	table := FormatTable(res)
+	if !strings.Contains(table, "*") {
+		t.Error("formatted table must show '*' cells")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, tinyConfig(0)); err == nil {
+		t.Error("cancelled run should error")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	res, err := Run(context.Background(), tinyConfig(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable(res)
+	for _, want := range []string{"Dep-Miner", "Dep-Miner 2", "TANE", "c=50%", "Armstrong"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFigures(t *testing.T) {
+	res, err := Run(context.Background(), tinyConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := FormatFigureTime(res)
+	if !strings.Contains(ft, "4 attributes") || !strings.Contains(ft, "6 attributes") {
+		t.Errorf("figure-time output:\n%s", ft)
+	}
+	fs := FormatFigureSize(res)
+	if !strings.Contains(fs, "4 attrs") || !strings.Contains(fs, "|r|") {
+		t.Errorf("figure-size output:\n%s", fs)
+	}
+	csv := CSV(res)
+	if !strings.HasPrefix(csv, "c,rows,attrs") || strings.Count(csv, "\n") != 5 {
+		t.Errorf("csv output:\n%s", csv)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(Experiments) != 9 {
+		t.Fatalf("registry has %d experiments, want 9 (3 tables + 6 figures)", len(Experiments))
+	}
+	for _, e := range Experiments {
+		got, ok := Lookup(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Errorf("Lookup(%q) failed", e.ID)
+		}
+		cfg := ConfigFor(e, false, time.Second, 1)
+		if len(cfg.RowCounts) == 0 || len(cfg.AttrCounts) == 0 {
+			t.Errorf("%s: empty grid", e.ID)
+		}
+		if e.Kind == "figure-time" && len(cfg.AttrCounts) != 2 {
+			t.Errorf("%s: figure-time should plot two |R| values", e.ID)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unknown id resolved")
+	}
+	rows, attrs := PaperGrid()
+	if rows[len(rows)-1] != 100000 || attrs[len(attrs)-1] != 60 {
+		t.Error("paper grid wrong")
+	}
+}
+
+func TestFormatDispatch(t *testing.T) {
+	res, err := Run(context.Background(), tinyConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range Experiments[:3] {
+		if Format(e, res) == "" {
+			t.Errorf("%s: empty output", e.ID)
+		}
+	}
+}
+
+func TestShapeChecks(t *testing.T) {
+	cfg := Config{
+		Correlation: 0.5,
+		RowCounts:   []int{200, 400},
+		AttrCounts:  []int{4, 10},
+		Seed:        1,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := ShapeChecks(res)
+	if len(checks) == 0 {
+		t.Fatal("no checks produced")
+	}
+	for _, c := range checks {
+		t.Log(c)
+		if !strings.HasPrefix(c, "ok:") && !strings.HasPrefix(c, "MISMATCH:") && !strings.HasPrefix(c, "info:") {
+			t.Errorf("malformed verdict %q", c)
+		}
+	}
+}

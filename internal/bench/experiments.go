@@ -1,0 +1,383 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Experiment identifies one table or figure of the paper's evaluation.
+type Experiment struct {
+	// ID is the lookup key: "table3", "figure2", ...
+	ID string
+	// Title describes the paper artefact.
+	Title string
+	// Correlation is the workload's c.
+	Correlation float64
+	// Kind is "table" (times + sizes grid), "figure-time" (time-vs-|r|
+	// curves at |R| = 10 and 50), or "figure-size" (Armstrong size vs
+	// |r| per |R|).
+	Kind string
+}
+
+// Experiments lists every table and figure of §5.3, in paper order.
+var Experiments = []Experiment{
+	{ID: "table3", Title: "Table 3: execution times and Armstrong sizes, data without constraints (c=0)", Correlation: 0, Kind: "table"},
+	{ID: "figure2", Title: "Figure 2: execution times vs |r| at |R|=10 and |R|=50, c=0", Correlation: 0, Kind: "figure-time"},
+	{ID: "figure3", Title: "Figure 3: Armstrong relation sizes vs |r|, c=0", Correlation: 0, Kind: "figure-size"},
+	{ID: "table4", Title: "Table 4: execution times and Armstrong sizes, correlated data (c=30%)", Correlation: 0.3, Kind: "table"},
+	{ID: "figure4", Title: "Figure 4: execution times vs |r| at |R|=10 and |R|=50, c=30%", Correlation: 0.3, Kind: "figure-time"},
+	{ID: "figure5", Title: "Figure 5: Armstrong relation sizes vs |r|, c=30%", Correlation: 0.3, Kind: "figure-size"},
+	{ID: "table5", Title: "Table 5: execution times and Armstrong sizes, correlated data (c=50%)", Correlation: 0.5, Kind: "table"},
+	{ID: "figure6", Title: "Figure 6: execution times vs |r| at |R|=10 and |R|=50, c=50%", Correlation: 0.5, Kind: "figure-time"},
+	{ID: "figure7", Title: "Figure 7: Armstrong relation sizes vs |r|, c=50%", Correlation: 0.5, Kind: "figure-size"},
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// PaperGrid is the evaluation's full grid: |r| ∈ 10k..100k,
+// |R| ∈ 10..60.
+func PaperGrid() ([]int, []int) {
+	return []int{10000, 20000, 30000, 50000, 100000}, []int{10, 20, 30, 40, 50, 60}
+}
+
+// QuickGrid is the laptop-scale default: same shape, two orders of
+// magnitude smaller rows and half the attribute range.
+func QuickGrid() ([]int, []int) {
+	return []int{500, 1000, 2000, 5000}, []int{10, 20, 30}
+}
+
+// ConfigFor builds the grid config for an experiment. Figure experiments
+// share their parent table's grid; figure-time runs only the |R| columns
+// it plots (the two extremes of the attr range).
+func ConfigFor(e Experiment, full bool, timeout time.Duration, seed uint64) Config {
+	rows, attrs := QuickGrid()
+	if full {
+		rows, attrs = PaperGrid()
+	}
+	if e.Kind == "figure-time" {
+		attrs = []int{attrs[0], attrs[len(attrs)-1]}
+	}
+	return Config{
+		Correlation: e.Correlation,
+		RowCounts:   rows,
+		AttrCounts:  attrs,
+		Timeout:     timeout,
+		Seed:        seed,
+	}
+}
+
+// FormatTable renders a result like the paper's Tables 3–5: one block of
+// execution times (three algorithm rows per |r|) and one block of
+// Armstrong relation sizes. Cells that exceeded the timeout print '*'.
+func FormatTable(res *Result) string {
+	var b strings.Builder
+	cfg := res.Config
+
+	fmt.Fprintf(&b, "Execution times (in seconds), c=%.0f%%\n", cfg.Correlation*100)
+	header := []string{"|r| \\ |R|", ""}
+	for _, a := range cfg.AttrCounts {
+		header = append(header, fmt.Sprintf("%d", a))
+	}
+	rowsOut := [][]string{header}
+	for ri, rows := range cfg.RowCounts {
+		for alg := 0; alg < 3; alg++ {
+			line := make([]string, 0, len(cfg.AttrCounts)+2)
+			if alg == 0 {
+				line = append(line, fmt.Sprintf("%d", rows))
+			} else {
+				line = append(line, "")
+			}
+			line = append(line, AlgorithmNames[alg])
+			for ai := range cfg.AttrCounts {
+				c := res.Cells[ri][ai]
+				if c.Timed(alg) {
+					line = append(line, fmt.Sprintf("%.3f", c.Seconds[alg]))
+				} else {
+					line = append(line, "*")
+				}
+			}
+			rowsOut = append(rowsOut, line)
+		}
+	}
+	writeAligned(&b, rowsOut)
+
+	fmt.Fprintf(&b, "\nSizes of real-world Armstrong relations (tuples)\n")
+	rowsOut = [][]string{header}
+	for ri, rows := range cfg.RowCounts {
+		line := []string{fmt.Sprintf("%d", rows), ""}
+		for ai := range cfg.AttrCounts {
+			c := res.Cells[ri][ai]
+			if c.ArmstrongSize >= 0 {
+				line = append(line, fmt.Sprintf("%d", c.ArmstrongSize))
+			} else {
+				line = append(line, "*")
+			}
+		}
+		rowsOut = append(rowsOut, line)
+	}
+	writeAligned(&b, rowsOut)
+	return b.String()
+}
+
+// FormatFigureTime renders the data behind Figures 2/4/6: per plotted
+// |R|, a series of (|r|, time) points for the three algorithms — the
+// textual equivalent of the paper's curves.
+func FormatFigureTime(res *Result) string {
+	var b strings.Builder
+	for ai, attrs := range res.Config.AttrCounts {
+		fmt.Fprintf(&b, "%d attributes, c=%.0f%%\n", attrs, res.Config.Correlation*100)
+		rows := [][]string{{"|r|", "Dep-Miner", "Dep-Miner 2", "TANE"}}
+		for ri, nr := range res.Config.RowCounts {
+			c := res.Cells[ri][ai]
+			line := []string{fmt.Sprintf("%d", nr)}
+			for alg := 0; alg < 3; alg++ {
+				if c.Timed(alg) {
+					line = append(line, fmt.Sprintf("%.3f", c.Seconds[alg]))
+				} else {
+					line = append(line, "*")
+				}
+			}
+			rows = append(rows, line)
+		}
+		writeAligned(&b, rows)
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n") + "\n"
+}
+
+// FormatFigureSize renders the data behind Figures 3/5/7: Armstrong
+// relation size vs |r|, one series per |R|.
+func FormatFigureSize(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Real-world Armstrong relation sizes, c=%.0f%%\n", res.Config.Correlation*100)
+	header := []string{"|r|"}
+	for _, a := range res.Config.AttrCounts {
+		header = append(header, fmt.Sprintf("%d attrs", a))
+	}
+	rows := [][]string{header}
+	for ri, nr := range res.Config.RowCounts {
+		line := []string{fmt.Sprintf("%d", nr)}
+		for ai := range res.Config.AttrCounts {
+			c := res.Cells[ri][ai]
+			if c.ArmstrongSize >= 0 {
+				line = append(line, fmt.Sprintf("%d", c.ArmstrongSize))
+			} else {
+				line = append(line, "*")
+			}
+		}
+		rows = append(rows, line)
+	}
+	writeAligned(&b, rows)
+	return b.String()
+}
+
+// Format renders the experiment's artefact from its grid result.
+func Format(e Experiment, res *Result) string {
+	switch e.Kind {
+	case "table":
+		return FormatTable(res)
+	case "figure-time":
+		return FormatFigureTime(res)
+	case "figure-size":
+		return FormatFigureSize(res)
+	default:
+		return FormatTable(res)
+	}
+}
+
+// CSV renders the raw cells as CSV (for external plotting).
+func CSV(res *Result) string {
+	var b strings.Builder
+	b.WriteString("c,rows,attrs,depminer_s,depminer2_s,tane_s,armstrong_tuples,fds\n")
+	for ri := range res.Cells {
+		for ai := range res.Cells[ri] {
+			c := res.Cells[ri][ai]
+			fmt.Fprintf(&b, "%.2f,%d,%d,%s,%s,%s,%d,%d\n",
+				res.Config.Correlation, c.Rows, c.Attrs,
+				csvSecs(c.Seconds[0]), csvSecs(c.Seconds[1]), csvSecs(c.Seconds[2]),
+				c.ArmstrongSize, c.FDs)
+		}
+	}
+	return b.String()
+}
+
+func csvSecs(s float64) string {
+	if s < 0 {
+		return ""
+	}
+	return fmt.Sprintf("%.4f", s)
+}
+
+// writeAligned writes rows of cells padded to per-column widths.
+func writeAligned(b *strings.Builder, rows [][]string) {
+	widths := map[int]int{}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	cols := make([]int, 0, len(widths))
+	for i := range widths {
+		cols = append(cols, i)
+	}
+	sort.Ints(cols)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for p := len(cell); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// ShapeChecks verifies the paper's qualitative claims on a completed grid
+// and returns human-readable verdicts:
+//
+//  1. Dep-Miner gains on TANE as |r| grows (TANE's per-lattice-node
+//     partition products scale with |r|, Dep-Miner's transversal phase
+//     does not); at the paper's scale Dep-Miner wins outright.
+//  2. The TANE/Dep-Miner time ratio grows with |R|.
+//  3. Armstrong relations are small samples of the input.
+//  4. Armstrong sizes grow only slowly with |r|.
+//
+// Each verdict is "ok: ..." or "MISMATCH: ..."; an "info:" line reports
+// plain win counts. Cells that timed out are skipped.
+func ShapeChecks(res *Result) []string {
+	var out []string
+	nr := len(res.Config.RowCounts)
+	na := len(res.Config.AttrCounts)
+
+	// Info: raw win counts.
+	wins, comparisons := 0, 0
+	for ri := range res.Cells {
+		for ai := range res.Cells[ri] {
+			c := res.Cells[ri][ai]
+			if c.Timed(0) && c.Timed(2) {
+				comparisons++
+				if c.Seconds[0] <= c.Seconds[2] {
+					wins++
+				}
+			}
+		}
+	}
+	if comparisons > 0 {
+		out = append(out, fmt.Sprintf("info: Dep-Miner faster than TANE in %d/%d comparable cells", wins, comparisons))
+	}
+
+	// Claim 1: TANE/Dep-Miner ratio grows with |r| (first vs last row,
+	// averaged over attribute columns; Dep-Miner 2 substitutes when
+	// Dep-Miner timed out, as in the paper's large cells).
+	dmTime := func(c *Cell) float64 {
+		if c.Timed(0) {
+			return c.Seconds[0]
+		}
+		if c.Timed(1) {
+			return c.Seconds[1]
+		}
+		return -1
+	}
+	if nr > 1 {
+		first, last, n := 0.0, 0.0, 0
+		for ai := 0; ai < na; ai++ {
+			cf, cl := res.Cells[0][ai], res.Cells[nr-1][ai]
+			df, dl := dmTime(cf), dmTime(cl)
+			if df > 0 && dl > 0 && cf.Timed(2) && cl.Timed(2) {
+				first += cf.Seconds[2] / df
+				last += cl.Seconds[2] / dl
+				n++
+			}
+		}
+		if n > 0 {
+			verdict := "ok"
+			if last <= first {
+				verdict = "MISMATCH"
+			}
+			out = append(out, fmt.Sprintf("%s: TANE/Dep-Miner time ratio grows with |r| (%.2fx at |r|=%d → %.2fx at |r|=%d)",
+				verdict, first/float64(n), res.Config.RowCounts[0],
+				last/float64(n), res.Config.RowCounts[nr-1]))
+		}
+	}
+
+	// Claim 2: the ratio grows with |R| (first vs last attribute column,
+	// averaged over rows).
+	if na > 1 {
+		first, last, n := 0.0, 0.0, 0
+		for ri := 0; ri < nr; ri++ {
+			cf, cl := res.Cells[ri][0], res.Cells[ri][na-1]
+			df, dl := dmTime(cf), dmTime(cl)
+			if df > 0 && dl > 0 && cf.Timed(2) && cl.Timed(2) {
+				first += cf.Seconds[2] / df
+				last += cl.Seconds[2] / dl
+				n++
+			}
+		}
+		if n > 0 {
+			verdict := "ok"
+			if last <= first {
+				verdict = "MISMATCH"
+			}
+			out = append(out, fmt.Sprintf("%s: TANE/Dep-Miner time ratio grows with |R| (%.2fx at |R|=%d → %.2fx at |R|=%d)",
+				verdict, first/float64(n), res.Config.AttrCounts[0],
+				last/float64(n), res.Config.AttrCounts[na-1]))
+		}
+	}
+
+	// Claim 3: Armstrong relations are small (the paper reports 1/100 to
+	// 1/10,000 of |r| at full scale; the scaled grid tolerates 1/2).
+	worst := 0.0
+	for ri := range res.Cells {
+		for ai := range res.Cells[ri] {
+			c := res.Cells[ri][ai]
+			if c.ArmstrongSize >= 0 && c.Rows > 0 {
+				if f := float64(c.ArmstrongSize) / float64(c.Rows); f > worst {
+					worst = f
+				}
+			}
+		}
+	}
+	verdict := "ok"
+	if worst > 0.5 {
+		verdict = "MISMATCH"
+	}
+	out = append(out, fmt.Sprintf("%s: Armstrong relations are small samples (worst size ratio %.4f of |r|)", verdict, worst))
+
+	// Claim 4: sizes grow sublinearly in |r|: growing |r| by a factor k
+	// grows the Armstrong relation by far less than k.
+	if nr > 1 {
+		ratioSum, n := 0.0, 0
+		for ai := 0; ai < na; ai++ {
+			cf, cl := res.Cells[0][ai], res.Cells[nr-1][ai]
+			if cf.ArmstrongSize > 0 && cl.ArmstrongSize > 0 {
+				ratioSum += float64(cl.ArmstrongSize) / float64(cf.ArmstrongSize)
+				n++
+			}
+		}
+		if n > 0 {
+			k := float64(res.Config.RowCounts[nr-1]) / float64(res.Config.RowCounts[0])
+			avg := ratioSum / float64(n)
+			verdict := "ok"
+			if avg > k/2 {
+				verdict = "MISMATCH"
+			}
+			out = append(out, fmt.Sprintf("%s: Armstrong sizes grow sublinearly with |r| (size ×%.2f while |r| ×%.1f)", verdict, avg, k))
+		}
+	}
+	return out
+}

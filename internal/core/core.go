@@ -1,0 +1,273 @@
+// Package core implements the Dep-Miner pipeline (paper Algorithm 1): the
+// combined discovery of minimal non-trivial functional dependencies and a
+// real-world Armstrong relation from a relation instance.
+//
+// The five steps, each delegated to its substrate package:
+//
+//  1. AGREE_SET          — internal/agree (Algorithm 2 or 3)
+//  2. CMAX_SET           — internal/maxsets (Algorithm 4)
+//  3. LEFT_HAND_SIDE     — internal/hypergraph (Algorithm 5)
+//  4. FD_OUTPUT          — Algorithm 6, below
+//  5. ARMSTRONG_RELATION — internal/armstrong (§4)
+//
+// The pipeline consumes only the stripped partition database after step 1
+// has been prepared, and touches the original relation again only to
+// materialise real-world Armstrong values — matching the paper's
+// limited-main-memory design.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/agree"
+	"repro/internal/armstrong"
+	"repro/internal/attrset"
+	"repro/internal/fd"
+	"repro/internal/hypergraph"
+	"repro/internal/maxsets"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// AgreeAlgorithm selects how agree sets are computed.
+type AgreeAlgorithm int
+
+const (
+	// AgreeCouples is Algorithm 2 (the "Dep-Miner" variant of the
+	// evaluation): couples of maximal equivalence classes swept against
+	// the stripped partitions, chunked to bound memory.
+	AgreeCouples AgreeAlgorithm = iota
+	// AgreeIdentifiers is Algorithm 3 ("Dep-Miner 2"): per-tuple
+	// equivalence-class identifier lists intersected per couple.
+	AgreeIdentifiers
+	// AgreeNaive is the O(n·p²) direct pairwise scan, for baselines and
+	// tests only. It requires the relation itself (Discover, not
+	// DiscoverFromDatabase).
+	AgreeNaive
+)
+
+// String returns the evaluation's name for the algorithm.
+func (a AgreeAlgorithm) String() string {
+	switch a {
+	case AgreeCouples:
+		return "Dep-Miner"
+	case AgreeIdentifiers:
+		return "Dep-Miner 2"
+	case AgreeNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("AgreeAlgorithm(%d)", int(a))
+	}
+}
+
+// ArmstrongMode selects step 5's behaviour.
+type ArmstrongMode int
+
+const (
+	// ArmstrongRealWorldOrSynthetic builds a real-world Armstrong
+	// relation, falling back to the synthetic integer construction when
+	// Proposition 1 fails. This is the zero value so that default
+	// options are safe on arbitrary data.
+	ArmstrongRealWorldOrSynthetic ArmstrongMode = iota
+	// ArmstrongRealWorld fails discovery if Proposition 1 does not hold.
+	ArmstrongRealWorld
+	// ArmstrongSynthetic always uses the integer construction.
+	ArmstrongSynthetic
+	// ArmstrongNone skips step 5.
+	ArmstrongNone
+)
+
+// Options configure a discovery run. The zero value runs Algorithm 2 with
+// the default chunk size and builds a real-world Armstrong relation with
+// synthetic fallback.
+type Options struct {
+	// Algorithm selects the agree-set computation.
+	Algorithm AgreeAlgorithm
+	// ChunkSize bounds couples in memory for AgreeCouples; 0 means
+	// agree.DefaultChunkSize.
+	ChunkSize int
+	// Armstrong selects step 5's behaviour.
+	Armstrong ArmstrongMode
+}
+
+// Timings records wall-clock duration per pipeline step.
+type Timings struct {
+	Partition time.Duration // stripped partition database extraction
+	AgreeSets time.Duration // step 1
+	MaxSets   time.Duration // step 2
+	LHS       time.Duration // steps 3–4
+	Armstrong time.Duration // step 5
+}
+
+// Total returns the sum over all steps.
+func (t Timings) Total() time.Duration {
+	return t.Partition + t.AgreeSets + t.MaxSets + t.LHS + t.Armstrong
+}
+
+// Result is the outcome of a Dep-Miner run.
+type Result struct {
+	// FDs is the canonical cover: every minimal non-trivial FD X → A of
+	// the relation, in deterministic order. An FD with empty LHS denotes
+	// a constant column (∅ → A).
+	FDs fd.Cover
+	// AgreeSets is ag(r), deduplicated, in canonical order.
+	AgreeSets attrset.Family
+	// MaxSets is MAX(dep(r)) = GEN(dep(r)).
+	MaxSets attrset.Family
+	// LHS[a] is lhs(dep(r), a) including the trivial {a} when present,
+	// exactly as Algorithm 5 computes it.
+	LHS []attrset.Family
+	// Armstrong is the Armstrong relation, nil when Options.Armstrong is
+	// ArmstrongNone.
+	Armstrong *relation.Relation
+	// ArmstrongSynthetic reports that the synthetic construction was
+	// used (always, or as fallback).
+	ArmstrongSynthetic bool
+	// Couples is the number of tuple couples examined by step 1; Chunks
+	// the number of chunk passes.
+	Couples, Chunks int
+	// Timings records per-step durations.
+	Timings Timings
+}
+
+// Discover runs the full Dep-Miner pipeline on a relation.
+func Discover(ctx context.Context, r *relation.Relation, opts Options) (*Result, error) {
+	res := &Result{}
+
+	// Step 1: AGREE_SET.
+	t0 := time.Now()
+	var agr *agree.Result
+	var err error
+	if opts.Algorithm == AgreeNaive {
+		agr, err = agree.Naive(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		res.Timings.AgreeSets = time.Since(t0)
+	} else {
+		db := partition.NewDatabase(r)
+		res.Timings.Partition = time.Since(t0)
+		t0 = time.Now()
+		agr, err = agreeSets(ctx, db, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Timings.AgreeSets = time.Since(t0)
+	}
+
+	// Steps 2–4.
+	if err := deriveFDs(ctx, agr, r.Arity(), res); err != nil {
+		return nil, err
+	}
+
+	// Step 5: ARMSTRONG_RELATION.
+	if opts.Armstrong != ArmstrongNone {
+		t0 = time.Now()
+		arm, synthetic, err := buildArmstrong(r, res.MaxSets, opts.Armstrong)
+		if err != nil {
+			return nil, err
+		}
+		res.Armstrong = arm
+		res.ArmstrongSynthetic = synthetic
+		res.Timings.Armstrong = time.Since(t0)
+	}
+	return res, nil
+}
+
+// DiscoverFromDatabase runs steps 1–4 on a pre-built stripped partition
+// database (no Armstrong relation, which needs the original values).
+func DiscoverFromDatabase(ctx context.Context, db *partition.Database, opts Options) (*Result, error) {
+	res := &Result{}
+	t0 := time.Now()
+	agr, err := agreeSets(ctx, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.AgreeSets = time.Since(t0)
+	if err := deriveFDs(ctx, agr, db.Arity(), res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DeriveFromAgreeSets runs steps 2–4 of the pipeline on externally
+// computed agree sets — used by the incremental miner, which maintains
+// ag(r) under inserts and re-derives the cover on demand.
+func DeriveFromAgreeSets(ctx context.Context, sets attrset.Family, arity int) (*Result, error) {
+	res := &Result{}
+	if err := deriveFDs(ctx, &agree.Result{Sets: sets, Chunks: 1}, arity, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func agreeSets(ctx context.Context, db *partition.Database, opts Options) (*agree.Result, error) {
+	switch opts.Algorithm {
+	case AgreeCouples:
+		return agree.Couples(ctx, db, agree.Options{ChunkSize: opts.ChunkSize})
+	case AgreeIdentifiers:
+		return agree.Identifiers(ctx, db, agree.Options{ChunkSize: opts.ChunkSize})
+	case AgreeNaive:
+		return nil, fmt.Errorf("core: the naive agree-set scan needs the relation; use Discover")
+	default:
+		return nil, fmt.Errorf("core: unknown agree algorithm %d", opts.Algorithm)
+	}
+}
+
+// deriveFDs runs steps 2–4 from the agree sets into res.
+func deriveFDs(ctx context.Context, agr *agree.Result, arity int, res *Result) error {
+	res.AgreeSets = agr.Sets
+	res.Couples = agr.Couples
+	res.Chunks = agr.Chunks
+
+	// Step 2: CMAX_SET.
+	t0 := time.Now()
+	ms := maxsets.Compute(res.AgreeSets, arity)
+	res.MaxSets = ms.AllMax()
+	res.Timings.MaxSets = time.Since(t0)
+
+	// Steps 3–4: LEFT_HAND_SIDE then FD_OUTPUT (Algorithm 6: emit X → A
+	// for every X ∈ lhs(dep(r),A) except the trivial X = {A}).
+	t0 = time.Now()
+	res.LHS = make([]attrset.Family, arity)
+	for a := 0; a < arity; a++ {
+		h := hypergraph.Simplify(ms.CMax[a])
+		lhs, err := h.MinimalTransversals(ctx)
+		if err != nil {
+			return err
+		}
+		res.LHS[a] = lhs
+		for _, x := range lhs {
+			if x == attrset.Single(a) {
+				continue
+			}
+			res.FDs = append(res.FDs, fd.FD{LHS: x, RHS: a})
+		}
+	}
+	res.FDs.Sort()
+	res.Timings.LHS = time.Since(t0)
+	return nil
+}
+
+// buildArmstrong implements step 5 with the configured fallback policy.
+func buildArmstrong(r *relation.Relation, maxSets attrset.Family, mode ArmstrongMode) (*relation.Relation, bool, error) {
+	switch mode {
+	case ArmstrongSynthetic:
+		arm, err := armstrong.Synthetic(maxSets, r.Names())
+		return arm, true, err
+	case ArmstrongRealWorld:
+		arm, err := armstrong.RealWorld(r, maxSets)
+		return arm, false, err
+	case ArmstrongRealWorldOrSynthetic:
+		arm, err := armstrong.RealWorld(r, maxSets)
+		if err == nil {
+			return arm, false, nil
+		}
+		arm, err = armstrong.Synthetic(maxSets, r.Names())
+		return arm, true, err
+	default:
+		return nil, false, fmt.Errorf("core: unknown armstrong mode %d", mode)
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attrset"
+	"repro/internal/fd"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+func set(spec string) attrset.Set {
+	s, ok := attrset.Parse(spec)
+	if !ok {
+		panic("bad spec " + spec)
+	}
+	return s
+}
+
+// paperFDs is the 14-FD output of Example 11.
+func paperFDs() fd.Cover {
+	mk := func(lhs string, rhs int) fd.FD { return fd.FD{LHS: set(lhs), RHS: rhs} }
+	c := fd.Cover{
+		mk("BC", 0), mk("CD", 0),
+		mk("AC", 1), mk("AE", 1), mk("D", 1),
+		mk("AB", 2), mk("AD", 2), mk("AE", 2),
+		mk("AC", 3), mk("AE", 3), mk("B", 3),
+		mk("B", 4), mk("C", 4), mk("D", 4),
+	}
+	c.Sort()
+	return c
+}
+
+func coversIdentical(a, b fd.Cover) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDiscoverPaperExampleAllAlgorithms(t *testing.T) {
+	r := relation.PaperExample()
+	want := paperFDs()
+	for _, algo := range []AgreeAlgorithm{AgreeCouples, AgreeIdentifiers, AgreeNaive} {
+		res, err := Discover(context.Background(), r, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !coversIdentical(res.FDs, want) {
+			t.Errorf("%v: FDs =\n%s\nwant\n%s", algo, res.FDs, want)
+		}
+		if !res.MaxSets.Equal(attrset.Family{set("A"), set("BDE"), set("CE")}) {
+			t.Errorf("%v: MaxSets = %v", algo, res.MaxSets.Strings())
+		}
+		wantAg := attrset.Family{attrset.Empty(), set("A"), set("BDE"), set("CE"), set("E")}
+		if !res.AgreeSets.Equal(wantAg) {
+			t.Errorf("%v: AgreeSets = %v", algo, res.AgreeSets.Strings())
+		}
+		if res.Armstrong == nil || res.Armstrong.Rows() != 4 {
+			t.Errorf("%v: Armstrong missing or wrong size", algo)
+		}
+		if res.ArmstrongSynthetic {
+			t.Errorf("%v: real-world Armstrong expected for paper example", algo)
+		}
+	}
+}
+
+// Paper Example 10: LHS families per attribute, including the trivial
+// singleton.
+func TestDiscoverLHSFamilies(t *testing.T) {
+	r := relation.PaperExample()
+	res, err := Discover(context.Background(), r, Options{Armstrong: ArmstrongNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []attrset.Family{
+		{set("A"), set("BC"), set("CD")},
+		{set("AC"), set("AE"), set("B"), set("D")},
+		{set("AB"), set("AD"), set("AE"), set("C")},
+		{set("AC"), set("AE"), set("B"), set("D")},
+		{set("B"), set("C"), set("D"), set("E")},
+	}
+	for a := range want {
+		if !res.LHS[a].Equal(want[a]) {
+			t.Errorf("lhs(dep(r),%c) = %v, want %v", 'A'+a, res.LHS[a].Strings(), want[a].Strings())
+		}
+	}
+}
+
+func TestDiscoverFromDatabase(t *testing.T) {
+	r := relation.PaperExample()
+	db := partition.NewDatabase(r)
+	res, err := DiscoverFromDatabase(context.Background(), db, Options{Algorithm: AgreeIdentifiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coversIdentical(res.FDs, paperFDs()) {
+		t.Errorf("FDs mismatch:\n%s", res.FDs)
+	}
+	if res.Armstrong != nil {
+		t.Error("DiscoverFromDatabase must not build Armstrong relations")
+	}
+	// Naive needs the relation.
+	if _, err := DiscoverFromDatabase(context.Background(), db, Options{Algorithm: AgreeNaive}); err == nil {
+		t.Error("AgreeNaive through DiscoverFromDatabase should error")
+	}
+	if _, err := DiscoverFromDatabase(context.Background(), db, Options{Algorithm: AgreeAlgorithm(99)}); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestArmstrongModes(t *testing.T) {
+	r := relation.PaperExample()
+	// None.
+	res, err := Discover(context.Background(), r, Options{Armstrong: ArmstrongNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Armstrong != nil || res.Timings.Armstrong != 0 {
+		t.Error("ArmstrongNone must skip step 5")
+	}
+	// Synthetic.
+	res, err = Discover(context.Background(), r, Options{Armstrong: ArmstrongSynthetic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ArmstrongSynthetic || res.Armstrong == nil {
+		t.Error("ArmstrongSynthetic must build the integer relation")
+	}
+	if res.Armstrong.Value(0, 0) != "0" {
+		t.Error("synthetic relation should be integer-coded")
+	}
+	// RealWorld strict on a relation violating Proposition 1.
+	poor, err := relation.FromRows([]string{"a", "b", "c"},
+		[][]string{{"1", "x", "p"}, {"2", "y", "q"}, {"1", "x", "r"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Discover(context.Background(), poor, Options{Armstrong: ArmstrongRealWorld})
+	if err == nil {
+		// a has 2 values; maximal sets avoiding a may demand more.
+		// Verify via the fallback mode instead of asserting here.
+		t.Log("strict real-world succeeded; relation was rich enough")
+	}
+	// Fallback never errors on Proposition 1.
+	res, err = Discover(context.Background(), poor, Options{})
+	if err != nil {
+		t.Fatalf("fallback mode errored: %v", err)
+	}
+	if res.Armstrong == nil {
+		t.Error("fallback mode must produce a relation")
+	}
+	if _, err := Discover(context.Background(), r, Options{Armstrong: ArmstrongMode(99)}); err == nil {
+		t.Error("unknown armstrong mode should error")
+	}
+}
+
+func TestConstantColumnEmitsEmptyLHS(t *testing.T) {
+	r, err := relation.FromRows([]string{"a", "b"},
+		[][]string{{"1", "k"}, {"2", "k"}, {"3", "k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(context.Background(), r, Options{Armstrong: ArmstrongNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ∅ → b (constant) and a → b (implied by minimality: actually ∅ → b
+	// makes a → b non-minimal, so only ∅ → b is emitted).
+	want := fd.Cover{{LHS: attrset.Empty(), RHS: 1}}
+	if !coversIdentical(res.FDs, want) {
+		t.Errorf("FDs = %v, want just ∅ → B", res.FDs)
+	}
+}
+
+func TestKeyColumnFDs(t *testing.T) {
+	// a is a key: a → b and a → c minimal; nothing else.
+	r, err := relation.FromRows([]string{"a", "b", "c"},
+		[][]string{{"1", "x", "x"}, {"2", "x", "y"}, {"3", "z", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(context.Background(), r, Options{Armstrong: ArmstrongNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fd.MineBrute(r)
+	if !coversIdentical(res.FDs, want) {
+		t.Errorf("FDs =\n%s\nwant\n%s", res.FDs, want)
+	}
+}
+
+func TestDegenerateRelations(t *testing.T) {
+	// Empty and single-tuple relations: every FD holds; minimal cover is
+	// ∅ → A for every attribute.
+	for _, rows := range [][][]string{{}, {{"1", "x"}}} {
+		r, err := relation.FromRows([]string{"a", "b"}, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Discover(context.Background(), r, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fd.Cover{{LHS: attrset.Empty(), RHS: 0}, {LHS: attrset.Empty(), RHS: 1}}
+		if !coversIdentical(res.FDs, want) {
+			t.Errorf("rows=%d: FDs = %v, want ∅→A, ∅→B", len(rows), res.FDs)
+		}
+		if res.Armstrong == nil || res.Armstrong.Rows() != 1 {
+			t.Errorf("rows=%d: Armstrong should have exactly 1 tuple", len(rows))
+		}
+	}
+}
+
+func TestTimingsPopulated(t *testing.T) {
+	r := relation.PaperExample()
+	res, err := Discover(context.Background(), r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timings.Total() <= 0 {
+		t.Error("timings not recorded")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Discover(ctx, relation.PaperExample(), Options{})
+	if err == nil {
+		t.Error("cancelled context should abort discovery")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if AgreeCouples.String() != "Dep-Miner" ||
+		AgreeIdentifiers.String() != "Dep-Miner 2" ||
+		AgreeNaive.String() != "naive" {
+		t.Error("algorithm names wrong")
+	}
+	if AgreeAlgorithm(42).String() == "" {
+		t.Error("unknown algorithm must still render")
+	}
+}
+
+// TestPropertyDiscoverMatchesBruteForce cross-validates the full pipeline
+// against the brute-force miner on random relations: identical canonical
+// covers (same minimal FDs, not merely equivalent).
+func TestPropertyDiscoverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 80; iter++ {
+		n := 1 + rng.Intn(5)
+		rows := rng.Intn(18)
+		cols := make([][]int, n)
+		for a := range cols {
+			cols[a] = make([]int, rows)
+			dom := 1 + rng.Intn(6)
+			for i := range cols[a] {
+				cols[a][i] = rng.Intn(dom)
+			}
+		}
+		r, err := relation.FromCodes(make([]string, n), cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = r.Deduplicate()
+		want := fd.MineBrute(r)
+		for _, algo := range []AgreeAlgorithm{AgreeCouples, AgreeIdentifiers} {
+			res, err := Discover(context.Background(), r, Options{
+				Algorithm: algo,
+				Armstrong: ArmstrongNone,
+				ChunkSize: 1 + rng.Intn(50),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !coversIdentical(res.FDs, want) {
+				t.Fatalf("iter %d algo %v:\n got %s\nwant %s\nrelation:\n%v",
+					iter, algo, res.FDs, want, r)
+			}
+		}
+	}
+}

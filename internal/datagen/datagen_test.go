@@ -1,0 +1,175 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := Spec{Attrs: 10, Rows: 100, Correlation: 0.3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Attrs: -1, Rows: 10},
+		{Attrs: 1, Rows: -1},
+		{Attrs: 300, Rows: 10},
+		{Attrs: 1, Rows: 10, Correlation: -0.1},
+		{Attrs: 1, Rows: 10, Correlation: 1.1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+		if _, err := Generate(s); err == nil {
+			t.Errorf("bad spec %d generated", i)
+		}
+	}
+}
+
+func TestDomainSize(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want int
+	}{
+		{Spec{Rows: 1000, Correlation: 0.5}, 500}, // the paper's example
+		{Spec{Rows: 1000, Correlation: 0.3}, 300},
+		{Spec{Rows: 1000, Correlation: 0}, 1000}, // no constraints
+		{Spec{Rows: 10, Correlation: 0.001}, 1},  // ceil, min 1
+		{Spec{Rows: 0, Correlation: 0.5}, 1},
+		{Spec{Rows: 7, Correlation: 0.5}, 4}, // ceil(3.5)
+		{Spec{Rows: 100, Correlation: 1}, 100},
+	}
+	for _, c := range cases {
+		if got := c.spec.DomainSize(); got != c.want {
+			t.Errorf("%v: DomainSize = %d, want %d", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	spec := Spec{Attrs: 8, Rows: 500, Correlation: 0.3, Seed: 42}
+	r1, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rows() != 500 || r1.Arity() != 8 {
+		t.Fatalf("shape %dx%d", r1.Rows(), r1.Arity())
+	}
+	r2, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 8; a++ {
+		for tt := 0; tt < 500; tt++ {
+			if r1.Code(tt, a) != r2.Code(tt, a) {
+				t.Fatalf("nondeterministic at (%d,%d)", tt, a)
+			}
+		}
+	}
+	// Different seeds differ somewhere.
+	r3, err := Generate(Spec{Attrs: 8, Rows: 500, Correlation: 0.3, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for a := 0; a < 8 && same; a++ {
+		for tt := 0; tt < 500; tt++ {
+			if r1.Value(tt, a) != r3.Value(tt, a) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seed 42 and 43 produced identical data")
+	}
+}
+
+func TestColumnsDecorrelated(t *testing.T) {
+	// Two columns of the same relation must not be identical (they use
+	// different streams).
+	r, err := Generate(Spec{Attrs: 2, Rows: 200, Correlation: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for tt := 0; tt < 200; tt++ {
+		if r.Value(tt, 0) != r.Value(tt, 1) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("columns 0 and 1 are identical")
+	}
+}
+
+func TestCorrelationControlsDistinctValues(t *testing.T) {
+	rows := 2000
+	for _, c := range []float64{0.1, 0.3, 0.5} {
+		r, err := Generate(Spec{Attrs: 3, Rows: rows, Correlation: c, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := c * float64(rows)
+		// Expected distinct values after `rows` uniform draws from a
+		// domain of size d: d·(1 − (1 − 1/d)^rows). Allow 5% slack.
+		expect := d * (1 - math.Pow(1-1/d, float64(rows)))
+		for a := 0; a < 3; a++ {
+			got := float64(r.DomainSize(a))
+			if got > d || math.Abs(got-expect) > 0.05*expect {
+				t.Errorf("c=%v attr %d: %v distinct values, want ≈ %.0f (domain %.0f)",
+					c, a, got, expect, d)
+			}
+		}
+	}
+}
+
+func TestNoConstraintsCollisionRate(t *testing.T) {
+	// c = 0: domain size = rows; expected distinct fraction ≈ 1-1/e ≈ 0.63.
+	rows := 5000
+	r, err := Generate(Spec{Attrs: 1, Rows: rows, Correlation: 0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(r.DomainSize(0)) / float64(rows)
+	if math.Abs(frac-0.632) > 0.05 {
+		t.Errorf("distinct fraction = %v, want ≈ 0.632", frac)
+	}
+}
+
+func TestColumnNames(t *testing.T) {
+	cases := map[int]string{0: "A", 25: "Z", 26: "AA", 27: "AB", 51: "AZ", 52: "BA", 701: "ZZ", 702: "AAA"}
+	for a, want := range cases {
+		if got := columnName(a); got != want {
+			t.Errorf("columnName(%d) = %q, want %q", a, got, want)
+		}
+	}
+}
+
+func TestStringAndEmptySpec(t *testing.T) {
+	s := Spec{Attrs: 10, Rows: 10000, Correlation: 0.3}
+	if s.String() != "|R|=10 |r|=10000 c=30%" {
+		t.Errorf("String = %q", s.String())
+	}
+	r, err := Generate(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != 0 || r.Arity() != 0 {
+		t.Error("empty spec should give empty relation")
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for SplitMix64 seeded with 0 (from the public
+	// domain reference implementation).
+	rng := newSplitMix64(0)
+	want := []uint64{0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F}
+	for i, w := range want {
+		if got := rng.next(); got != w {
+			t.Fatalf("splitmix64[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package datagen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attrset"
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+// PlantedSpec describes a synthetic relation with known embedded
+// functional dependencies. The uniform generator of the paper's benchmark
+// (Generate) produces only accidental FDs; planted relations let tests
+// and demos verify *recall* — every planted dependency must be implied by
+// whatever a miner discovers.
+type PlantedSpec struct {
+	// Attrs, Rows, Seed as in Spec.
+	Attrs int
+	Rows  int
+	Seed  uint64
+	// FDs to embed. For each dependency X → A, column A is computed as a
+	// deterministic function of the X columns, so the dependency holds
+	// by construction. Derived columns may feed other planted LHSs
+	// (chains are applied in topological order); cyclic plants (A → B
+	// together with B → A) are rejected — plant one direction and let
+	// discovery find the accidental converse if the hash happens to be
+	// injective.
+	FDs fd.Cover
+	// FreeDomain is the domain size of columns that are not a planted
+	// RHS (default: Rows, the no-constraints workload).
+	FreeDomain int
+}
+
+// GeneratePlanted materialises the relation. It returns an error if a
+// planted FD references attributes outside the schema or is trivial.
+func GeneratePlanted(spec PlantedSpec) (*relation.Relation, error) {
+	if spec.Attrs < 0 || spec.Rows < 0 || !attrset.Valid(spec.Attrs) {
+		return nil, fmt.Errorf("datagen: bad planted shape %dx%d", spec.Attrs, spec.Rows)
+	}
+	planted := make(map[int]attrset.Set) // RHS -> LHS (last plant wins)
+	for _, f := range spec.FDs {
+		if f.Trivial() {
+			return nil, fmt.Errorf("datagen: trivial planted FD %s", f)
+		}
+		if f.RHS >= spec.Attrs || (!f.LHS.IsEmpty() && f.LHS.Max() >= spec.Attrs) {
+			return nil, fmt.Errorf("datagen: planted FD %s outside schema of %d attributes", f, spec.Attrs)
+		}
+		planted[f.RHS] = f.LHS
+	}
+	free := spec.FreeDomain
+	if free <= 0 {
+		free = spec.Rows
+	}
+	if free < 1 {
+		free = 1
+	}
+
+	names := make([]string, spec.Attrs)
+	cols := make([][]int, spec.Attrs)
+	for a := range cols {
+		names[a] = columnName(a)
+		col := make([]int, spec.Rows)
+		rng := newSplitMix64(spec.Seed ^ mix(uint64(a)+0x5151))
+		for t := range col {
+			col[t] = int(rng.next() % uint64(free))
+		}
+		cols[a] = col
+	}
+
+	// Apply plants in topological order of the derived-column dependency
+	// graph, so each derived column is computed exactly once from final
+	// LHS values.
+	order, err := topoOrder(planted)
+	if err != nil {
+		return nil, err
+	}
+	for _, rhs := range order {
+		lhs := planted[rhs]
+		for t := 0; t < spec.Rows; t++ {
+			h := newSplitMix64(spec.Seed ^ mix(uint64(rhs)+0xA0A0))
+			lhs.ForEach(func(a attrset.Attr) {
+				h.state ^= mix(uint64(cols[a][t]) + uint64(a)<<32)
+			})
+			cols[rhs][t] = int(h.next() % uint64(free))
+		}
+	}
+	return relation.FromCodes(names, cols)
+}
+
+// topoOrder orders the planted RHS attributes so that any planted column
+// appearing in another plant's LHS is computed first. It rejects cycles.
+func topoOrder(planted map[int]attrset.Set) ([]int, error) {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current path
+		black = 2 // done
+	)
+	color := make(map[int]int, len(planted))
+	var order []int
+	var visit func(rhs int) error
+	visit = func(rhs int) error {
+		switch color[rhs] {
+		case grey:
+			return fmt.Errorf("datagen: cyclic planted dependencies through attribute %d", rhs)
+		case black:
+			return nil
+		}
+		color[rhs] = grey
+		var err error
+		planted[rhs].ForEach(func(a attrset.Attr) {
+			if _, derived := planted[a]; derived && err == nil {
+				err = visit(a)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		color[rhs] = black
+		order = append(order, rhs)
+		return nil
+	}
+	// Deterministic iteration order.
+	rhss := make([]int, 0, len(planted))
+	for rhs := range planted {
+		rhss = append(rhss, rhs)
+	}
+	sort.Ints(rhss)
+	for _, rhs := range rhss {
+		if err := visit(rhs); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,196 @@
+package datagen
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attrset"
+	"repro/internal/core"
+	"repro/internal/fd"
+)
+
+func plant(lhs string, rhs int) fd.FD {
+	s, ok := attrset.Parse(lhs)
+	if !ok {
+		panic("bad spec " + lhs)
+	}
+	return fd.FD{LHS: s, RHS: rhs}
+}
+
+func TestGeneratePlantedHoldsByConstruction(t *testing.T) {
+	spec := PlantedSpec{
+		Attrs: 6,
+		Rows:  500,
+		Seed:  3,
+		FDs: fd.Cover{
+			plant("A", 1),  // A → B
+			plant("BC", 3), // BC → D (chains through derived B)
+			plant("E", 5),  // E → F
+		},
+		FreeDomain: 40,
+	}
+	r, err := GeneratePlanted(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != 500 || r.Arity() != 6 {
+		t.Fatalf("shape %dx%d", r.Rows(), r.Arity())
+	}
+	for _, f := range spec.FDs {
+		if !r.Satisfies(f.LHS, f.RHS) {
+			t.Errorf("planted FD %s does not hold", f)
+		}
+	}
+	// Free columns keep their entropy: A should not be constant.
+	if r.DomainSize(0) < 2 {
+		t.Error("free column degenerated")
+	}
+}
+
+func TestGeneratePlantedRecallThroughDiscovery(t *testing.T) {
+	spec := PlantedSpec{
+		Attrs: 5,
+		Rows:  300,
+		Seed:  9,
+		FDs: fd.Cover{
+			plant("A", 2),
+			plant("BD", 4),
+		},
+		FreeDomain: 25,
+	}
+	r, err := GeneratePlanted(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Discover(context.Background(), r, core.Options{Armstrong: core.ArmstrongNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range spec.FDs {
+		if !res.FDs.Implies(f, spec.Attrs) {
+			t.Errorf("discovered cover does not imply planted %s", f)
+		}
+	}
+}
+
+func TestGeneratePlantedChainsAndDeterminism(t *testing.T) {
+	spec := PlantedSpec{
+		Attrs: 4,
+		Rows:  200,
+		Seed:  4,
+		FDs: fd.Cover{
+			plant("A", 1), // A → B
+			plant("B", 2), // B → C (B is derived)
+			plant("C", 3), // C → D (C is derived)
+		},
+		FreeDomain: 30,
+	}
+	r1, err := GeneratePlanted(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transitivity must hold exactly: A → D.
+	if !r1.Satisfies(attrset.Single(0), 3) {
+		t.Error("transitive planted chain broken: A → D fails")
+	}
+	r2, err := GeneratePlanted(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < r1.Rows(); tt++ {
+		for a := 0; a < r1.Arity(); a++ {
+			if r1.Code(tt, a) != r2.Code(tt, a) {
+				t.Fatal("planted generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestGeneratePlantedErrors(t *testing.T) {
+	if _, err := GeneratePlanted(PlantedSpec{Attrs: -1}); err == nil {
+		t.Error("negative attrs accepted")
+	}
+	if _, err := GeneratePlanted(PlantedSpec{
+		Attrs: 3, Rows: 5, FDs: fd.Cover{plant("AB", 0)},
+	}); err == nil {
+		t.Error("trivial planted FD accepted")
+	}
+	if _, err := GeneratePlanted(PlantedSpec{
+		Attrs: 2, Rows: 5, FDs: fd.Cover{plant("A", 4)},
+	}); err == nil {
+		t.Error("out-of-schema RHS accepted")
+	}
+	if _, err := GeneratePlanted(PlantedSpec{
+		Attrs: 2, Rows: 5, FDs: fd.Cover{plant("E", 0)},
+	}); err == nil {
+		t.Error("out-of-schema LHS accepted")
+	}
+	// Cyclic plants rejected.
+	if _, err := GeneratePlanted(PlantedSpec{
+		Attrs: 2, Rows: 5, FDs: fd.Cover{plant("A", 1), plant("B", 0)},
+	}); err == nil {
+		t.Error("cyclic plants accepted")
+	}
+	// Self-cycle via a chain.
+	if _, err := GeneratePlanted(PlantedSpec{
+		Attrs: 3, Rows: 5, FDs: fd.Cover{plant("A", 1), plant("B", 2), plant("C", 0)},
+	}); err == nil {
+		t.Error("3-cycle accepted")
+	}
+}
+
+func TestGeneratePlantedConstantColumn(t *testing.T) {
+	// ∅ → A plants a constant column.
+	r, err := GeneratePlanted(PlantedSpec{
+		Attrs: 2, Rows: 20, Seed: 1,
+		FDs: fd.Cover{{LHS: attrset.Empty(), RHS: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DomainSize(0) != 1 {
+		t.Errorf("planted constant column has %d values", r.DomainSize(0))
+	}
+}
+
+func TestGeneratePlantedRandomizedRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 15; iter++ {
+		n := 3 + rng.Intn(3)
+		// Plant a random acyclic cover: RHS indices strictly above all
+		// their LHS attributes.
+		var cover fd.Cover
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			rhs := 1 + rng.Intn(n-1)
+			var lhs attrset.Set
+			for a := 0; a < rhs; a++ {
+				if rng.Intn(2) == 0 {
+					lhs.Add(a)
+				}
+			}
+			if lhs.IsEmpty() {
+				lhs.Add(rng.Intn(rhs))
+			}
+			cover = append(cover, fd.FD{LHS: lhs, RHS: rhs})
+		}
+		r, err := GeneratePlanted(PlantedSpec{
+			Attrs: n, Rows: 100 + rng.Intn(200),
+			Seed: uint64(iter), FDs: cover, FreeDomain: 10 + rng.Intn(40),
+		})
+		if err != nil {
+			t.Fatalf("iter %d: %v (cover %v)", iter, err, cover)
+		}
+		// Later plants on the same RHS override earlier ones; verify
+		// the last plant per RHS.
+		last := map[int]fd.FD{}
+		for _, f := range cover {
+			last[f.RHS] = f
+		}
+		for _, f := range last {
+			if !r.Satisfies(f.LHS, f.RHS) {
+				t.Fatalf("iter %d: planted %s violated", iter, f)
+			}
+		}
+	}
+}

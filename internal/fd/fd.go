@@ -1,0 +1,311 @@
+// Package fd provides the functional-dependency theory substrate: FD
+// values, covers, attribute-set closure, implication, cover equivalence,
+// canonical covers and candidate keys.
+//
+// Discovery (Dep-Miner, TANE) produces covers of dep(r); this package
+// supplies the algebra the rest of the system needs to validate, compare
+// and exploit them — notably the linear-time closure algorithm
+// (Beeri–Bernstein) behind implication tests, which the test suite uses to
+// prove that two discovery algorithms found equivalent covers, and which
+// the normaliser uses for key and projection computations.
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/attrset"
+)
+
+// FD is a functional dependency LHS → RHS with a single right-hand-side
+// attribute, the normal form used throughout discovery (X → A).
+type FD struct {
+	LHS attrset.Set
+	RHS attrset.Attr
+}
+
+// Trivial reports whether the dependency is trivial (A ∈ X).
+func (f FD) Trivial() bool { return f.LHS.Contains(f.RHS) }
+
+// String renders the FD in the paper's letter notation, e.g. "BC → A".
+func (f FD) String() string {
+	return f.LHS.String() + " → " + attrset.Single(f.RHS).String()
+}
+
+// Names renders the FD with attribute names, e.g. "depnum,year → empnum".
+func (f FD) Names(names []string) string {
+	rhs := "attr" + fmt.Sprint(f.RHS)
+	if f.RHS < len(names) {
+		rhs = names[f.RHS]
+	}
+	return f.LHS.Names(names, ",") + " → " + rhs
+}
+
+// Compare orders FDs by RHS, then by canonical LHS order; it returns -1,
+// 0 or +1. Discovery emits FDs in this deterministic order.
+func (f FD) Compare(g FD) int {
+	if f.RHS != g.RHS {
+		if f.RHS < g.RHS {
+			return -1
+		}
+		return 1
+	}
+	return f.LHS.Compare(g.LHS)
+}
+
+// Cover is a list of FDs, interpreted as a set of dependencies over a
+// schema.
+type Cover []FD
+
+// Sort orders the cover deterministically (by RHS, then LHS).
+func (c Cover) Sort() {
+	sort.Slice(c, func(i, j int) bool { return c[i].Compare(c[j]) < 0 })
+}
+
+// Dedup returns the cover without duplicate FDs, preserving first
+// occurrences.
+func (c Cover) Dedup() Cover {
+	seen := make(map[FD]struct{}, len(c))
+	out := make(Cover, 0, len(c))
+	for _, f := range c {
+		if _, dup := seen[f]; dup {
+			continue
+		}
+		seen[f] = struct{}{}
+		out = append(out, f)
+	}
+	return out
+}
+
+// String renders the cover one FD per line in its current order.
+func (c Cover) String() string {
+	var b strings.Builder
+	for i, f := range c {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// ByRHS groups the cover's LHSs per right-hand-side attribute, for a
+// schema of arity attributes: out[a] = {X | X → a ∈ c}.
+func (c Cover) ByRHS(arity int) []attrset.Family {
+	out := make([]attrset.Family, arity)
+	for _, f := range c {
+		if f.RHS < arity {
+			out[f.RHS] = append(out[f.RHS], f.LHS)
+		}
+	}
+	return out
+}
+
+// Closure computes X⁺ w.r.t. the cover: the set of attributes A with
+// c ⊨ X → A, over a schema of arity attributes. It is the textbook
+// linear-time algorithm: maintain an unsatisfied-LHS counter per FD and a
+// work queue of newly derived attributes.
+func (c Cover) Closure(x attrset.Set, arity int) attrset.Set {
+	closure := x
+	// Per-FD count of LHS attributes not yet in the closure.
+	missing := make([]int, len(c))
+	// fdsByAttr[a] lists FD indices having a in their LHS.
+	fdsByAttr := make([][]int, arity)
+	queue := make([]attrset.Attr, 0, arity)
+
+	for i, f := range c {
+		m := 0
+		f.LHS.ForEach(func(a attrset.Attr) {
+			if a >= arity {
+				return
+			}
+			if !closure.Contains(a) {
+				m++
+				fdsByAttr[a] = append(fdsByAttr[a], i)
+			}
+		})
+		missing[i] = m
+		if m == 0 && f.RHS < arity && !closure.Contains(f.RHS) {
+			closure.Add(f.RHS)
+			queue = append(queue, f.RHS)
+		}
+	}
+	for len(queue) > 0 {
+		a := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, i := range fdsByAttr[a] {
+			missing[i]--
+			if missing[i] == 0 {
+				rhs := c[i].RHS
+				if rhs < arity && !closure.Contains(rhs) {
+					closure.Add(rhs)
+					queue = append(queue, rhs)
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// Implies reports whether the cover logically implies X → A
+// (A ∈ X⁺ w.r.t. c).
+func (c Cover) Implies(f FD, arity int) bool {
+	return c.Closure(f.LHS, arity).Contains(f.RHS)
+}
+
+// Equivalent reports whether two covers over the same schema imply each
+// other.
+func (c Cover) Equivalent(d Cover, arity int) bool {
+	for _, f := range d {
+		if !c.Implies(f, arity) {
+			return false
+		}
+	}
+	for _, f := range c {
+		if !d.Implies(f, arity) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsClosed reports whether X is closed w.r.t. the cover: X⁺ = X.
+func (c Cover) IsClosed(x attrset.Set, arity int) bool {
+	return c.Closure(x, arity) == x
+}
+
+// ClosedSets enumerates CL(c), the family of closed sets, over a schema of
+// arity attributes. Exponential in arity — intended for tests and small
+// schemas (the Armstrong verification uses it on ≤ 20 attributes).
+func (c Cover) ClosedSets(arity int) attrset.Family {
+	var out attrset.Family
+	for bits := uint64(0); bits < 1<<uint(arity); bits++ {
+		var x attrset.Set
+		for b := 0; b < arity; b++ {
+			if bits&(1<<uint(b)) != 0 {
+				x.Add(b)
+			}
+		}
+		if c.IsClosed(x, arity) {
+			out = append(out, x)
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// Minimize returns a canonical cover: every FD minimal (no reducible LHS
+// attribute) and no redundant FD. The result is sorted. The input is not
+// modified.
+func (c Cover) Minimize(arity int) Cover {
+	work := c.Dedup()
+	// Drop trivial FDs first.
+	out := make(Cover, 0, len(work))
+	for _, f := range work {
+		if !f.Trivial() {
+			out = append(out, f)
+		}
+	}
+	// Left-reduce each FD.
+	for i, f := range out {
+		lhs := f.LHS
+		for _, a := range f.LHS.Attrs() {
+			reduced := lhs.Without(a)
+			if out.Implies(FD{LHS: reduced, RHS: f.RHS}, arity) {
+				lhs = reduced
+			}
+		}
+		out[i].LHS = lhs
+	}
+	// Remove redundant FDs: f is redundant if the others (kept so far plus
+	// not-yet-examined) imply it.
+	out = out.Dedup()
+	removed := make([]bool, len(out))
+	for i := range out {
+		removed[i] = true
+		rest := make(Cover, 0, len(out)-1)
+		for j := range out {
+			if !removed[j] {
+				rest = append(rest, out[j])
+			}
+		}
+		if !rest.Implies(out[i], arity) {
+			removed[i] = false
+		}
+	}
+	kept := make(Cover, 0, len(out))
+	for i := range out {
+		if !removed[i] {
+			kept = append(kept, out[i])
+		}
+	}
+	kept.Sort()
+	return kept
+}
+
+// Keys computes the candidate keys of a schema of arity attributes w.r.t.
+// the cover: the minimal attribute sets X with X⁺ = R. It uses the
+// classical reduction: attributes appearing in no RHS must be in every
+// key; then a levelwise search over the remaining attributes.
+func (c Cover) Keys(arity int) attrset.Family {
+	all := attrset.Universe(arity)
+	// Core: attributes never derived by any non-trivial FD must be in
+	// every key.
+	derived := attrset.Set{}
+	for _, f := range c {
+		if !f.Trivial() && f.RHS < arity {
+			derived.Add(f.RHS)
+		}
+	}
+	core := all.Diff(derived)
+	if c.Closure(core, arity) == all {
+		return attrset.Family{core}
+	}
+	// Levelwise over subsets of the derived attributes added to the core.
+	// Minimal keys can have different sizes (e.g. {A} and {BC} under
+	// A→BC, BC→A), so the whole lattice above the core is explored, with
+	// supersets of found keys pruned.
+	candidates := derived.Attrs()
+	var keys attrset.Family
+	level := []attrset.Set{core}
+	seen := map[attrset.Set]struct{}{core: {}}
+	for len(level) > 0 {
+		var next []attrset.Set
+		for _, x := range level {
+			for _, a := range candidates {
+				if x.Contains(a) {
+					continue
+				}
+				y := x.With(a)
+				if _, dup := seen[y]; dup {
+					continue
+				}
+				seen[y] = struct{}{}
+				dominated := false
+				for _, k := range keys {
+					if k.SubsetOf(y) {
+						dominated = true
+						break
+					}
+				}
+				if dominated {
+					continue
+				}
+				if c.Closure(y, arity) == all {
+					keys = append(keys, y)
+				} else {
+					next = append(next, y)
+				}
+			}
+		}
+		level = next
+	}
+	keys = keys.Minimal()
+	if len(keys) == 0 {
+		// No subset closes to R: only R itself is a key.
+		keys = attrset.Family{all}
+	}
+	keys.Sort()
+	return keys
+}

@@ -1,0 +1,428 @@
+package fd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/attrset"
+	"repro/internal/relation"
+)
+
+func set(spec string) attrset.Set {
+	s, ok := attrset.Parse(spec)
+	if !ok {
+		panic("bad spec " + spec)
+	}
+	return s
+}
+
+func mk(lhs string, rhs int) FD { return FD{LHS: set(lhs), RHS: rhs} }
+
+// paperCover is the 14-FD cover of Example 11.
+func paperCover() Cover {
+	return Cover{
+		mk("BC", 0), mk("CD", 0),
+		mk("AC", 1), mk("AE", 1), mk("D", 1),
+		mk("AB", 2), mk("AD", 2), mk("AE", 2),
+		mk("AC", 3), mk("AE", 3), mk("B", 3),
+		mk("B", 4), mk("C", 4), mk("D", 4),
+	}
+}
+
+func TestFDBasics(t *testing.T) {
+	f := mk("BC", 0)
+	if f.String() != "BC → A" {
+		t.Errorf("String = %q", f.String())
+	}
+	if f.Trivial() {
+		t.Error("BC → A is not trivial")
+	}
+	if !mk("AB", 0).Trivial() {
+		t.Error("AB → A is trivial")
+	}
+	names := []string{"empnum", "depnum", "year"}
+	if got := mk("BC", 0).Names(names); got != "depnum,year → empnum" {
+		t.Errorf("Names = %q", got)
+	}
+	if got := mk("A", 7).Names(names); got != "empnum → attr7" {
+		t.Errorf("Names fallback = %q", got)
+	}
+}
+
+func TestCompareAndSort(t *testing.T) {
+	c := Cover{mk("CD", 0), mk("D", 1), mk("BC", 0)}
+	c.Sort()
+	want := []string{"BC → A", "CD → A", "D → B"}
+	for i, f := range c {
+		if f.String() != want[i] {
+			t.Errorf("sorted[%d] = %s, want %s", i, f, want[i])
+		}
+	}
+	if mk("A", 0).Compare(mk("A", 0)) != 0 {
+		t.Error("self compare")
+	}
+}
+
+func TestCoverStringDedupByRHS(t *testing.T) {
+	c := Cover{mk("B", 4), mk("B", 4), mk("C", 4)}
+	if d := c.Dedup(); len(d) != 2 {
+		t.Errorf("Dedup len = %d", len(d))
+	}
+	if !strings.Contains(c.String(), "B → E") {
+		t.Error("String missing FD")
+	}
+	groups := c.ByRHS(5)
+	if len(groups[4]) != 3 || len(groups[0]) != 0 {
+		t.Error("ByRHS wrong")
+	}
+}
+
+func TestClosurePaperExample(t *testing.T) {
+	c := paperCover()
+	cases := []struct{ x, want string }{
+		{"B", "BDE"},    // B → D, B → E
+		{"D", "BDE"},    // D → B, chains to E
+		{"C", "CE"},     // C → E
+		{"A", "A"},      // A determines nothing alone
+		{"BC", "ABCDE"}, // BC → A, then everything
+		{"AE", "ABCDE"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		got := c.Closure(set(tc.x), 5)
+		if got != set(tc.want) {
+			t.Errorf("(%s)+ = %v, want %s", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestClosureChains(t *testing.T) {
+	// A→B, B→C, C→D chain of length 3.
+	c := Cover{mk("A", 1), mk("B", 2), mk("C", 3)}
+	if got := c.Closure(set("A"), 4); got != set("ABCD") {
+		t.Errorf("A+ = %v", got)
+	}
+	if got := c.Closure(set("C"), 4); got != set("CD") {
+		t.Errorf("C+ = %v", got)
+	}
+	// Compound LHS only fires when complete.
+	c2 := Cover{mk("AB", 2)}
+	if got := c2.Closure(set("A"), 3); got != set("A") {
+		t.Errorf("A+ = %v, AB → C should not fire", got)
+	}
+	if got := c2.Closure(set("AB"), 3); got != set("ABC") {
+		t.Errorf("AB+ = %v", got)
+	}
+}
+
+func TestImpliesAndEquivalent(t *testing.T) {
+	c := paperCover()
+	// Derived but not listed: D → E (D → B → E).
+	if !c.Implies(mk("D", 4), 5) {
+		t.Error("cover should imply D → E")
+	}
+	if c.Implies(mk("A", 1), 5) {
+		t.Error("cover should not imply A → B")
+	}
+	// The paper's cover plus the derived D → E is equivalent.
+	d := append(append(Cover{}, c...), mk("D", 4))
+	if !c.Equivalent(d, 5) {
+		t.Error("adding an implied FD must keep equivalence")
+	}
+	// Removing a redundant FD keeps equivalence: BC → A follows from
+	// B → D and CD → A.
+	e := append(Cover{}, c[1:]...) // drop BC → A
+	if !c.Equivalent(e, 5) {
+		t.Error("dropping the derivable BC → A must keep equivalence")
+	}
+	// Removing an essential FD breaks it: C → E is derivable from nothing
+	// else (no other FD fires from {C}).
+	var f Cover
+	for _, x := range c {
+		if x != mk("C", 4) {
+			f = append(f, x)
+		}
+	}
+	if c.Equivalent(f, 5) {
+		t.Error("dropping C → E must break equivalence")
+	}
+}
+
+func TestIsClosedAndClosedSets(t *testing.T) {
+	c := paperCover()
+	if !c.IsClosed(set("BDE"), 5) || !c.IsClosed(set("CE"), 5) || !c.IsClosed(set("A"), 5) {
+		t.Error("paper maximal sets must be closed")
+	}
+	if c.IsClosed(set("B"), 5) {
+		t.Error("B is not closed (B+ = BDE)")
+	}
+	cl := c.ClosedSets(5)
+	// Closed sets must contain R, all maximal sets, and be intersection-
+	// closed.
+	if !cl.Contains(set("ABCDE")) {
+		t.Error("R must be closed")
+	}
+	for _, m := range []string{"A", "BDE", "CE"} {
+		if !cl.Contains(set(m)) {
+			t.Errorf("maximal set %s must be closed", m)
+		}
+	}
+	for _, x := range cl {
+		for _, y := range cl {
+			if !cl.Contains(x.Intersect(y)) {
+				t.Fatalf("closed sets not intersection-closed: %v ∩ %v", x, y)
+			}
+		}
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// Redundant and non-minimal FDs collapse.
+	c := Cover{
+		mk("AB", 2), // AB → C, but A → C below makes B redundant
+		mk("A", 2),  // A → C
+		mk("A", 1),  // A → B
+		mk("AC", 1), // implied by A → B
+		mk("BC", 1), // kept: B,C alone do not give B... BC → B trivial? RHS=1=B, LHS=BC contains B → trivial
+	}
+	m := c.Minimize(3)
+	want := Cover{mk("A", 1), mk("A", 2)}
+	want.Sort()
+	if len(m) != len(want) {
+		t.Fatalf("Minimize = %v, want %v", m, want)
+	}
+	for i := range m {
+		if m[i] != want[i] {
+			t.Fatalf("Minimize = %v, want %v", m, want)
+		}
+	}
+	if !m.Equivalent(c, 3) {
+		t.Error("minimized cover must stay equivalent")
+	}
+}
+
+func TestMinimizePaperCover(t *testing.T) {
+	// The set of ALL minimal FDs is redundant as a cover (e.g. BC → A
+	// follows from B → D and CD → A); Minimize must shrink it while
+	// preserving equivalence.
+	c := paperCover()
+	m := c.Minimize(5)
+	if len(m) >= len(c) {
+		t.Fatalf("paper cover not reduced: %d → %d FDs", len(c), len(m))
+	}
+	if !m.Equivalent(c, 5) {
+		t.Error("equivalence lost")
+	}
+	// Every FD of the reduced cover is one of the original minimal FDs
+	// (left-reduction cannot invent new LHSs here since they are already
+	// minimal w.r.t. the relation, hence w.r.t. the theory).
+	orig := make(map[FD]struct{}, len(c))
+	for _, f := range c {
+		orig[f] = struct{}{}
+	}
+	for _, f := range m {
+		if _, ok := orig[f]; !ok {
+			t.Errorf("Minimize produced %s, not among the paper's minimal FDs", f)
+		}
+	}
+}
+
+func TestKeys(t *testing.T) {
+	// Paper example: keys of R = ABCDE under the 14 FDs.
+	c := paperCover()
+	keys := c.Keys(5)
+	// AE+ = R, BC → A..., BC+ = ABCDE, CD+ = ABCDE; AB+ = ABCDE (AB → C).
+	// Check the well-known ones are present and all returned are minimal
+	// keys.
+	for _, k := range keys {
+		if c.Closure(k, 5) != attrset.Universe(5) {
+			t.Errorf("non-key %v returned", k)
+		}
+		k.ForEach(func(a attrset.Attr) {
+			if c.Closure(k.Without(a), 5) == attrset.Universe(5) {
+				t.Errorf("non-minimal key %v", k)
+			}
+		})
+	}
+	mustHave := []string{"AE", "BC", "CD", "AB", "AD", "AC"}
+	for _, kk := range mustHave {
+		if !keys.Contains(set(kk)) {
+			t.Errorf("expected key %s missing from %v", kk, keys.Strings())
+		}
+	}
+}
+
+func TestKeysDifferentSizes(t *testing.T) {
+	// A → B, A → C, BC → A over ABC: keys {A} and {BC} of different size.
+	c := Cover{mk("A", 1), mk("A", 2), mk("BC", 0)}
+	keys := c.Keys(3)
+	want := attrset.Family{set("A"), set("BC")}
+	if !keys.Equal(want) {
+		t.Errorf("Keys = %v, want %v", keys.Strings(), want.Strings())
+	}
+}
+
+func TestKeysNoFDs(t *testing.T) {
+	keys := (Cover{}).Keys(3)
+	if !keys.Equal(attrset.Family{set("ABC")}) {
+		t.Errorf("Keys = %v, want {ABC}", keys.Strings())
+	}
+}
+
+func TestKeysConstantDerivable(t *testing.T) {
+	// ∅ → A (constant column), B is the key of AB.
+	c := Cover{{LHS: attrset.Empty(), RHS: 0}}
+	keys := c.Keys(2)
+	if !keys.Equal(attrset.Family{set("B")}) {
+		t.Errorf("Keys = %v, want {B}", keys.Strings())
+	}
+}
+
+func TestHoldsAndMinimal(t *testing.T) {
+	r := relation.PaperExample()
+	if !Holds(r, mk("BC", 0)) {
+		t.Error("BC → A holds")
+	}
+	if Holds(r, mk("B", 0)) {
+		t.Error("B → A fails")
+	}
+	if !IsMinimal(r, mk("BC", 0)) {
+		t.Error("BC → A is minimal")
+	}
+	if IsMinimal(r, mk("BCE", 0)) {
+		t.Error("BCE → A is not minimal")
+	}
+	if IsMinimal(r, mk("B", 0)) {
+		t.Error("B → A does not even hold")
+	}
+	ok, bad := AllHold(r, paperCover())
+	if !ok {
+		t.Errorf("paper cover should hold, %s violated", bad)
+	}
+	ok, bad = AllHold(r, Cover{mk("A", 1)})
+	if ok || bad != mk("A", 1) {
+		t.Error("AllHold should report A → B as violated")
+	}
+}
+
+// TestMineBrutePaperExample: the brute-force miner reproduces the paper's
+// 14 minimal FDs exactly.
+func TestMineBrutePaperExample(t *testing.T) {
+	got := MineBrute(relation.PaperExample())
+	want := paperCover()
+	want.Sort()
+	if len(got) != len(want) {
+		t.Fatalf("MineBrute found %d FDs, want %d:\n%s", len(got), len(want), got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("MineBrute[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDepBruteContainsMinimalCover(t *testing.T) {
+	r := relation.PaperExample()
+	dep := DepBrute(r)
+	min := MineBrute(r)
+	depSet := make(map[FD]struct{}, len(dep))
+	for _, f := range dep {
+		depSet[f] = struct{}{}
+	}
+	for _, f := range min {
+		if _, ok := depSet[f]; !ok {
+			t.Errorf("minimal FD %s missing from dep(r)", f)
+		}
+	}
+	// dep(r) is equivalent to its minimal cover.
+	if !dep.Equivalent(min, r.Arity()) {
+		t.Error("dep(r) not equivalent to minimal cover")
+	}
+}
+
+// Property tests on random covers.
+func TestPropertyClosureLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 200; iter++ {
+		arity := 1 + rng.Intn(7)
+		var c Cover
+		for k := 0; k < rng.Intn(8); k++ {
+			var lhs attrset.Set
+			for b := 0; b < arity; b++ {
+				if rng.Intn(3) == 0 {
+					lhs.Add(b)
+				}
+			}
+			c = append(c, FD{LHS: lhs, RHS: rng.Intn(arity)})
+		}
+		var x, y attrset.Set
+		for b := 0; b < arity; b++ {
+			if rng.Intn(2) == 0 {
+				x.Add(b)
+			}
+			if rng.Intn(2) == 0 {
+				y.Add(b)
+			}
+		}
+		cx := c.Closure(x, arity)
+		// Extensivity, idempotence, monotonicity.
+		if !x.SubsetOf(cx) {
+			t.Fatal("closure not extensive")
+		}
+		if c.Closure(cx, arity) != cx {
+			t.Fatal("closure not idempotent")
+		}
+		if x.SubsetOf(y) && !cx.SubsetOf(c.Closure(y, arity)) {
+			t.Fatal("closure not monotone")
+		}
+		// Minimize preserves equivalence.
+		m := c.Minimize(arity)
+		if !m.Equivalent(c, arity) {
+			t.Fatalf("Minimize broke equivalence: %v vs %v", c, m)
+		}
+		// No trivial FDs and left-reduced.
+		for _, f := range m {
+			if f.Trivial() {
+				t.Fatalf("trivial FD %s in minimized cover", f)
+			}
+			minimalLHS := true
+			f.LHS.ForEach(func(a attrset.Attr) {
+				if m.Implies(FD{LHS: f.LHS.Without(a), RHS: f.RHS}, arity) {
+					minimalLHS = false
+				}
+			})
+			if !minimalLHS {
+				t.Fatalf("non-left-reduced FD %s in minimized cover", f)
+			}
+		}
+	}
+}
+
+func TestPropertyMineBruteSoundComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 40; iter++ {
+		arity := 1 + rng.Intn(4)
+		rows := rng.Intn(12)
+		cols := make([][]int, arity)
+		for a := range cols {
+			cols[a] = make([]int, rows)
+			for i := range cols[a] {
+				cols[a][i] = rng.Intn(3)
+			}
+		}
+		r, err := relation.FromCodes(make([]string, arity), cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := MineBrute(r)
+		for _, f := range c {
+			if !IsMinimal(r, f) {
+				t.Fatalf("MineBrute emitted non-minimal %s", f)
+			}
+			if f.Trivial() {
+				t.Fatalf("MineBrute emitted trivial %s", f)
+			}
+		}
+	}
+}

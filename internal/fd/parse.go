@@ -1,0 +1,146 @@
+package fd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/attrset"
+)
+
+// ParseFD parses one functional dependency written as
+//
+//	lhs1, lhs2, ... -> rhs        (or the arrow "→")
+//
+// resolving attribute names against the given schema (case-sensitive,
+// whitespace-trimmed). An empty left-hand side ("-> a" or "∅ -> a")
+// denotes a constant-column dependency. Multiple right-hand-side
+// attributes are rejected — split them into one FD per RHS, the normal
+// form the discovery algorithms use.
+func ParseFD(line string, names []string) (FD, error) {
+	arrow := strings.Index(line, "->")
+	alen := 2
+	if arrow < 0 {
+		arrow = strings.Index(line, "→")
+		alen = len("→")
+	}
+	if arrow < 0 {
+		return FD{}, fmt.Errorf("fd: %q has no arrow (use 'a, b -> c')", line)
+	}
+	lhsPart := strings.TrimSpace(line[:arrow])
+	rhsPart := strings.TrimSpace(line[arrow+alen:])
+	if rhsPart == "" {
+		return FD{}, fmt.Errorf("fd: %q has an empty right-hand side", line)
+	}
+	if strings.ContainsAny(rhsPart, ",") {
+		return FD{}, fmt.Errorf("fd: %q has multiple RHS attributes; write one FD per attribute", line)
+	}
+	rhs, err := resolve(rhsPart, names)
+	if err != nil {
+		return FD{}, err
+	}
+	var lhs attrset.Set
+	if lhsPart != "" && lhsPart != "∅" {
+		for _, tok := range strings.Split(lhsPart, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				return FD{}, fmt.Errorf("fd: %q has an empty LHS attribute", line)
+			}
+			a, err := resolve(tok, names)
+			if err != nil {
+				return FD{}, err
+			}
+			lhs.Add(a)
+		}
+	}
+	return FD{LHS: lhs, RHS: rhs}, nil
+}
+
+func resolve(name string, names []string) (attrset.Attr, error) {
+	for i, n := range names {
+		if n == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("fd: unknown attribute %q (schema: %s)", name, strings.Join(names, ", "))
+}
+
+// ParseCover reads one FD per line (blank lines and lines starting with
+// '#' are skipped) and returns the cover. The line number of the first
+// error is included in the message.
+func ParseCover(r io.Reader, names []string) (Cover, error) {
+	var out Cover
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f, err := ParseFD(line, names)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fd: reading cover: %w", err)
+	}
+	return out, nil
+}
+
+// Derivation explains why the cover implies X → A: a sequence of FDs from
+// the cover, each of whose LHS is contained in X plus the RHSs of the
+// FDs before it, ending with one whose RHS is A. Returns ok = false when
+// the cover does not imply the dependency.
+//
+// The chain is a by-product of the closure computation, so it is not
+// guaranteed minimal — it is meant for the dba-facing "why does this
+// hold?" question, not for proof normalisation.
+func (c Cover) Derivation(x attrset.Set, a attrset.Attr, arity int) (chain Cover, ok bool) {
+	if x.Contains(a) {
+		return nil, true // trivial
+	}
+	closure := x
+	used := make([]bool, len(c))
+	for {
+		progressed := false
+		for i, f := range c {
+			if used[i] || !f.LHS.SubsetOf(closure) || closure.Contains(f.RHS) {
+				continue
+			}
+			used[i] = true
+			chain = append(chain, f)
+			closure.Add(f.RHS)
+			progressed = true
+			if f.RHS == a {
+				return trim(chain, x, a), true
+			}
+		}
+		if !progressed {
+			return nil, false
+		}
+	}
+}
+
+// trim removes chain entries whose RHS contributes to neither the target
+// nor any later-used LHS, front to back.
+func trim(chain Cover, x attrset.Set, a attrset.Attr) Cover {
+	needed := attrset.Single(a)
+	kept := make([]bool, len(chain))
+	for i := len(chain) - 1; i >= 0; i-- {
+		if needed.Contains(chain[i].RHS) {
+			kept[i] = true
+			needed = needed.Union(chain[i].LHS)
+		}
+	}
+	out := make(Cover, 0, len(chain))
+	for i, f := range chain {
+		if kept[i] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package fd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/attrset"
+	"repro/internal/relation"
+)
+
+var schema = []string{"empnum", "depnum", "year", "depname", "mgr"}
+
+func TestParseFD(t *testing.T) {
+	cases := []struct {
+		in   string
+		want FD
+	}{
+		{"depnum, year -> empnum", mk("BC", 0)},
+		{"depnum,year->empnum", mk("BC", 0)},
+		{"depnum → depname", mk("B", 3)},
+		{"-> mgr", FD{LHS: attrset.Empty(), RHS: 4}},
+		{"∅ -> mgr", FD{LHS: attrset.Empty(), RHS: 4}},
+		{"  empnum , mgr ->  year ", mk("AE", 2)},
+	}
+	for _, c := range cases {
+		got, err := ParseFD(c.in, schema)
+		if err != nil {
+			t.Errorf("ParseFD(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseFD(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFDErrors(t *testing.T) {
+	bad := []string{
+		"no arrow here",
+		"a -> ",
+		"empnum -> depnum, year", // multi-RHS
+		"bogus -> empnum",
+		"empnum -> bogus",
+		"empnum,, -> mgr",
+	}
+	for _, in := range bad {
+		if _, err := ParseFD(in, schema); err == nil {
+			t.Errorf("ParseFD(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseFDRoundTrip(t *testing.T) {
+	// Names rendering parses back to the same FD.
+	for _, f := range paperCover() {
+		line := f.Names(schema)
+		got, err := ParseFD(line, schema)
+		if err != nil {
+			t.Fatalf("round-trip %q: %v", line, err)
+		}
+		if got != f {
+			t.Fatalf("round-trip %q = %v, want %v", line, got, f)
+		}
+	}
+}
+
+func TestParseCover(t *testing.T) {
+	src := `
+# the paper's single-attribute FDs
+depnum -> depname
+depnum -> mgr
+
+year -> mgr
+depname -> mgr
+`
+	cover, err := ParseCover(strings.NewReader(src), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 4 {
+		t.Fatalf("parsed %d FDs, want 4", len(cover))
+	}
+	r := relation.PaperExample()
+	if ok, bad := AllHold(r, cover); !ok {
+		t.Errorf("parsed FD %s should hold", bad)
+	}
+	if _, err := ParseCover(strings.NewReader("garbage\n"), schema); err == nil ||
+		!strings.Contains(err.Error(), "line 1") {
+		t.Errorf("line number missing from error: %v", err)
+	}
+}
+
+func TestDerivation(t *testing.T) {
+	c := paperCover()
+	// D → E is implied via D → B, B → E.
+	chain, ok := c.Derivation(set("D"), 4, 5)
+	if !ok {
+		t.Fatal("D → E should be derivable")
+	}
+	// The chain itself must imply the target and use only cover FDs.
+	if !Cover(chain).Implies(mk("D", 4), 5) {
+		t.Errorf("chain %v does not imply D → E", chain)
+	}
+	orig := make(map[FD]struct{})
+	for _, f := range c {
+		orig[f] = struct{}{}
+	}
+	for _, f := range chain {
+		if _, in := orig[f]; !in {
+			t.Errorf("chain FD %s not from the cover", f)
+		}
+	}
+	// Underivable target.
+	if _, ok := c.Derivation(set("A"), 1, 5); ok {
+		t.Error("A → B should not be derivable")
+	}
+	// Trivial target: empty chain, ok.
+	chain, ok = c.Derivation(set("AB"), 0, 5)
+	if !ok || len(chain) != 0 {
+		t.Errorf("trivial derivation = %v, %v", chain, ok)
+	}
+}
+
+func TestDerivationPropertyMatchesImplies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 150; iter++ {
+		arity := 1 + rng.Intn(6)
+		var c Cover
+		for k := 0; k < rng.Intn(7); k++ {
+			var lhs attrset.Set
+			for b := 0; b < arity; b++ {
+				if rng.Intn(3) == 0 {
+					lhs.Add(b)
+				}
+			}
+			c = append(c, FD{LHS: lhs, RHS: rng.Intn(arity)})
+		}
+		var x attrset.Set
+		for b := 0; b < arity; b++ {
+			if rng.Intn(2) == 0 {
+				x.Add(b)
+			}
+		}
+		a := rng.Intn(arity)
+		chain, ok := c.Derivation(x, a, arity)
+		want := c.Implies(FD{LHS: x, RHS: a}, arity)
+		if ok != want {
+			t.Fatalf("Derivation ok=%v, Implies=%v for %v → %d under %v", ok, want, x, a, c)
+		}
+		if ok && !x.Contains(a) {
+			// Chain validity: LHS of each step ⊆ x ∪ earlier RHSs.
+			avail := x
+			for _, f := range chain {
+				if !f.LHS.SubsetOf(avail) {
+					t.Fatalf("chain step %s not enabled (avail %v)", f, avail)
+				}
+				avail.Add(f.RHS)
+			}
+			if !avail.Contains(a) {
+				t.Fatalf("chain does not reach %d", a)
+			}
+		}
+	}
+}

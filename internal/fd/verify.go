@@ -1,0 +1,94 @@
+package fd
+
+import (
+	"repro/internal/attrset"
+	"repro/internal/relation"
+)
+
+// Holds reports whether the FD holds in the relation (definition check,
+// hash-grouping on the LHS projection).
+func Holds(r *relation.Relation, f FD) bool {
+	return r.Satisfies(f.LHS, f.RHS)
+}
+
+// AllHold reports whether every FD of the cover holds in the relation,
+// returning the first violated FD otherwise.
+func AllHold(r *relation.Relation, c Cover) (bool, FD) {
+	for _, f := range c {
+		if !Holds(r, f) {
+			return false, f
+		}
+	}
+	return true, FD{}
+}
+
+// IsMinimal reports whether f is a minimal FD of the relation: f holds and
+// no proper-subset LHS determines the RHS.
+func IsMinimal(r *relation.Relation, f FD) bool {
+	if !Holds(r, f) {
+		return false
+	}
+	ok := true
+	f.LHS.ForEach(func(a attrset.Attr) {
+		if r.Satisfies(f.LHS.Without(a), f.RHS) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// MineBrute discovers all minimal non-trivial FDs of a relation by
+// enumerating every LHS subset per RHS attribute — O(2^|R|·|R|·|r|) ground
+// truth for the test suite. It must only be used on small schemas.
+func MineBrute(r *relation.Relation) Cover {
+	n := r.Arity()
+	var out Cover
+	for a := 0; a < n; a++ {
+		var lhss attrset.Family
+		for bits := uint64(0); bits < 1<<uint(n); bits++ {
+			var x attrset.Set
+			for b := 0; b < n; b++ {
+				if bits&(1<<uint(b)) != 0 {
+					x.Add(b)
+				}
+			}
+			if x.Contains(a) {
+				continue // trivial
+			}
+			if r.Satisfies(x, a) {
+				lhss = append(lhss, x)
+			}
+		}
+		for _, x := range lhss.Minimal() {
+			out = append(out, FD{LHS: x, RHS: a})
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// DepBrute enumerates dep(r) restricted to non-trivial dependencies with
+// single RHS — every X → A (minimal or not) that holds — as a Cover. Used
+// by tests that need the full theory rather than a canonical cover.
+func DepBrute(r *relation.Relation) Cover {
+	n := r.Arity()
+	var out Cover
+	for a := 0; a < n; a++ {
+		for bits := uint64(0); bits < 1<<uint(n); bits++ {
+			var x attrset.Set
+			for b := 0; b < n; b++ {
+				if bits&(1<<uint(b)) != 0 {
+					x.Add(b)
+				}
+			}
+			if x.Contains(a) {
+				continue
+			}
+			if r.Satisfies(x, a) {
+				out = append(out, FD{LHS: x, RHS: a})
+			}
+		}
+	}
+	out.Sort()
+	return out
+}

@@ -1,0 +1,51 @@
+package hypergraph
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/attrset"
+)
+
+// MinimalTransversalsBerge computes Tr(H) by Berge multiplication — the
+// classical incremental algorithm the paper's levelwise search (Algorithm
+// 5) replaces: process edges one at a time, maintaining the minimal
+// transversals of the prefix hypergraph; a new edge E expands each
+// current transversal T to {T ∪ {v} | v ∈ E} unless T already hits E,
+// with ⊆-minimisation after each step.
+//
+// It serves as an independent oracle for the levelwise implementation and
+// as the ablation baseline of DESIGN.md §5 (item 4): Berge multiplication
+// explodes on intermediate results for some inputs where the levelwise
+// search stays narrow, and vice versa.
+func (h *Hypergraph) MinimalTransversalsBerge(ctx context.Context) (attrset.Family, error) {
+	if len(h.edges) == 0 {
+		return attrset.Family{attrset.Empty()}, nil
+	}
+	current := attrset.Family{attrset.Empty()}
+	for _, edge := range h.edges {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hypergraph: berge multiplication cancelled: %w", err)
+		}
+		next := make(attrset.Family, 0, len(current))
+		for _, t := range current {
+			if t.Intersects(edge) {
+				next = append(next, t)
+				continue
+			}
+			edge.ForEach(func(v attrset.Attr) {
+				next = append(next, t.With(v))
+			})
+		}
+		current = minimizeFamily(next)
+	}
+	current.Sort()
+	return current, nil
+}
+
+// minimizeFamily keeps the ⊆-minimal sets, with a size-bucketed sweep
+// (smaller sets can only be dominated by even smaller ones, so testing
+// against already-accepted sets suffices after sorting by cardinality).
+func minimizeFamily(f attrset.Family) attrset.Family {
+	return f.Minimal()
+}

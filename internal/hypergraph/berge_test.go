@@ -1,0 +1,76 @@
+package hypergraph
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attrset"
+)
+
+// randEdge draws a random edge over n vertices (possibly empty).
+func randEdge(rng *rand.Rand, n int) attrset.Set {
+	var s attrset.Set
+	for v := 0; v < n; v++ {
+		if rng.Intn(3) == 0 {
+			s.Add(v)
+		}
+	}
+	return s
+}
+
+func TestBergePaperExample(t *testing.T) {
+	h := mustNew(t, "AC", "ABD")
+	got, err := h.MinimalTransversalsBerge(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(sets("A", "BC", "CD")) {
+		t.Errorf("Berge Tr = %v, want {A, BC, CD}", got.Strings())
+	}
+}
+
+func TestBergeEdgeless(t *testing.T) {
+	h := Simplify(nil)
+	got, err := h.MinimalTransversalsBerge(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].IsEmpty() {
+		t.Errorf("Tr(edgeless) = %v", got.Strings())
+	}
+}
+
+// TestBergeMatchesLevelwise cross-validates the two independent
+// transversal implementations on random simple hypergraphs.
+func TestBergeMatchesLevelwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(8)
+		fam := attrset.Family{}
+		for e := 0; e < 1+rng.Intn(6); e++ {
+			if one := randEdge(rng, n); !one.IsEmpty() {
+				fam = append(fam, one)
+			}
+		}
+		h := Simplify(fam)
+		level := tr(t, h)
+		bergeOut, err := h.MinimalTransversalsBerge(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !level.Equal(bergeOut) {
+			t.Fatalf("iter %d: levelwise %v != berge %v (edges %v)",
+				iter, level.Strings(), bergeOut.Strings(), h.Edges().Strings())
+		}
+	}
+}
+
+func TestBergeCancellation(t *testing.T) {
+	h := mustNew(t, "AB", "CD")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.MinimalTransversalsBerge(ctx); err == nil {
+		t.Error("expected cancellation error")
+	}
+}

@@ -1,0 +1,237 @@
+// Package hypergraph implements simple hypergraphs over attribute sets and
+// the levelwise minimal-transversal algorithm of the paper (§3.3,
+// Algorithm 5 LEFT_HAND_SIDE), with candidate generation adapted from
+// Apriori-gen (Agrawal & Srikant 1994).
+//
+// A simple hypergraph H over vertex set R is a family of non-empty,
+// pairwise ⊆-incomparable edges. A transversal T intersects every edge;
+// Tr(H) is the family of minimal transversals. The connection to FD
+// discovery: Tr(cmax(dep(r),A)) = lhs(dep(r),A), and by the nihilpotence
+// property Tr(Tr(H)) = H for simple hypergraphs (Berge), which the
+// TANE→Armstrong bridge uses in the opposite direction.
+//
+// Conventions for degenerate cases (consistent with the set definitions):
+//   - H with no edges: every set is a transversal, so Tr(H) = {∅}.
+//   - H containing the empty edge is not simple and is rejected by New.
+package hypergraph
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/attrset"
+)
+
+// ErrNotSimple is returned when edges do not form a simple hypergraph.
+var ErrNotSimple = errors.New("hypergraph: edges must be non-empty and ⊆-incomparable")
+
+// Hypergraph is a simple hypergraph: a set of ⊆-incomparable non-empty
+// edges over attribute vertices.
+type Hypergraph struct {
+	edges attrset.Family
+}
+
+// New builds a simple hypergraph from the given edges, after deduplication.
+// It returns ErrNotSimple if any edge is empty or contained in another.
+func New(edges attrset.Family) (*Hypergraph, error) {
+	d := edges.Dedup()
+	for i, e := range d {
+		if e.IsEmpty() {
+			return nil, fmt.Errorf("%w: empty edge", ErrNotSimple)
+		}
+		for j, f := range d {
+			if i != j && e.SubsetOf(f) {
+				return nil, fmt.Errorf("%w: %v ⊆ %v", ErrNotSimple, e, f)
+			}
+		}
+	}
+	d.Sort()
+	return &Hypergraph{edges: d}, nil
+}
+
+// Simplify builds a simple hypergraph from arbitrary edges by dropping
+// empty edges and non-minimal edges (keeping Min⊆). Transversals are
+// preserved: a transversal of the minimal edges hits every superset edge
+// too. This is the standard preparation when edges come from raw data.
+func Simplify(edges attrset.Family) *Hypergraph {
+	var nonEmpty attrset.Family
+	for _, e := range edges {
+		if !e.IsEmpty() {
+			nonEmpty = append(nonEmpty, e)
+		}
+	}
+	return &Hypergraph{edges: nonEmpty.Minimal()}
+}
+
+// Edges returns the edges in canonical order. The caller must not modify
+// the returned family.
+func (h *Hypergraph) Edges() attrset.Family { return h.edges }
+
+// NumEdges returns the number of edges.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// Vertices returns the union of all edges.
+func (h *Hypergraph) Vertices() attrset.Set {
+	var v attrset.Set
+	for _, e := range h.edges {
+		v = v.Union(e)
+	}
+	return v
+}
+
+// IsTransversal reports whether t intersects every edge.
+func (h *Hypergraph) IsTransversal(t attrset.Set) bool {
+	for _, e := range h.edges {
+		if !t.Intersects(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMinimalTransversal reports whether t is a transversal and no proper
+// subset of t is one (equivalently, removing any single vertex of t breaks
+// some edge).
+func (h *Hypergraph) IsMinimalTransversal(t attrset.Set) bool {
+	if !h.IsTransversal(t) {
+		return false
+	}
+	minimal := true
+	t.ForEach(func(a attrset.Attr) {
+		if h.IsTransversal(t.Without(a)) {
+			minimal = false
+		}
+	})
+	return minimal
+}
+
+// MinimalTransversals computes Tr(H) with the paper's levelwise search:
+// level i holds the candidate i-sets; candidates that are transversals are
+// emitted and removed; the next level is generated Apriori-style from the
+// surviving non-transversals (join on the first i−1 elements, then prune
+// candidates having a non-surviving i-subset). Context cancellation aborts
+// between levels and returns the error.
+//
+// Each candidate carries a bitmap of the edges it already hits; the join
+// ORs the parents' bitmaps (the candidate is exactly their union), so the
+// transversal test is a word-wise comparison instead of an edge scan.
+func (h *Hypergraph) MinimalTransversals(ctx context.Context) (attrset.Family, error) {
+	if len(h.edges) == 0 {
+		return attrset.Family{attrset.Empty()}, nil
+	}
+	ne := len(h.edges)
+	words := (ne + 63) / 64
+	full := make([]uint64, words)
+	for e := 0; e < ne; e++ {
+		full[e>>6] |= 1 << uint(e&63)
+	}
+	// vertexCover[a] = bitmap of edges containing vertex a.
+	vertexCover := make(map[attrset.Attr][]uint64)
+	for e, edge := range h.edges {
+		edge.ForEach(func(a attrset.Attr) {
+			vc := vertexCover[a]
+			if vc == nil {
+				vc = make([]uint64, words)
+				vertexCover[a] = vc
+			}
+			vc[e>>6] |= 1 << uint(e&63)
+		})
+	}
+
+	type cand struct {
+		set   attrset.Set
+		cover []uint64
+	}
+	covers := func(c []uint64) bool {
+		for i := range c {
+			if c[i] != full[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// L1: the vertices appearing in edges, as singletons.
+	var level []cand
+	h.Vertices().ForEach(func(a attrset.Attr) {
+		level = append(level, cand{set: attrset.Single(a), cover: vertexCover[a]})
+	})
+
+	var out attrset.Family
+	surviving := make(map[attrset.Set]struct{})
+	for len(level) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hypergraph: transversal search cancelled: %w", err)
+		}
+		var survivors []cand
+		clear(surviving)
+		for _, c := range level {
+			if covers(c.cover) {
+				out = append(out, c.set)
+			} else {
+				survivors = append(survivors, c)
+				surviving[c.set] = struct{}{}
+			}
+		}
+		// Apriori join: group survivors by prefix (set minus its largest
+		// element); a joined candidate is prefix + two larger vertices,
+		// so each candidate arises from exactly one (prefix, pair).
+		byPrefix := make(map[attrset.Set][]cand)
+		for _, c := range survivors {
+			last := c.set.Max()
+			p := c.set.Without(last)
+			byPrefix[p] = append(byPrefix[p], c)
+		}
+		level = level[:0]
+		for _, members := range byPrefix {
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					u := members[i].set.Union(members[j].set)
+					if !apriori(u, surviving) {
+						continue
+					}
+					cover := make([]uint64, words)
+					for w := range cover {
+						cover[w] = members[i].cover[w] | members[j].cover[w]
+					}
+					level = append(level, cand{set: u, cover: cover})
+				}
+			}
+		}
+	}
+	out.Sort()
+	return out, nil
+}
+
+// apriori reports whether every (|cand|-1)-subset of cand is a surviving
+// non-transversal. Any subset that was emitted as a minimal transversal,
+// or never generated, disqualifies cand: its supersets cannot be minimal
+// transversals (or were already pruned).
+func apriori(cand attrset.Set, surviving map[attrset.Set]struct{}) bool {
+	ok := true
+	cand.ForEach(func(a attrset.Attr) {
+		if _, in := surviving[cand.Without(a)]; !in {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Transversal computes Tr(H) and verifies the result is itself simple,
+// returning it as a hypergraph. Useful with the nihilpotence property
+// Tr(Tr(H)) = H.
+func (h *Hypergraph) Transversal(ctx context.Context) (*Hypergraph, error) {
+	tr, err := h.MinimalTransversals(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(tr) == 1 && tr[0].IsEmpty() {
+		// Tr of the edgeless hypergraph; {∅} is not a simple hypergraph,
+		// and Tr({∅}-like input) cannot occur since New rejects it. The
+		// edgeless hypergraph is its own fixed point's dual: Tr(∅) = {∅}
+		// and Tr of that is undefined — return the edgeless hypergraph.
+		return &Hypergraph{}, nil
+	}
+	return New(tr)
+}

@@ -1,0 +1,235 @@
+package incremental
+
+import (
+	"context"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/agree"
+	"repro/internal/attrset"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+func coversIdentical(a, b fd.Cover) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPaperExampleIncrementally(t *testing.T) {
+	r := relation.PaperExample()
+	m, err := New(r.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for tt := 0; tt < r.Rows(); tt++ {
+		if err := m.Insert(r.Row(tt)); err != nil {
+			t.Fatal(err)
+		}
+		// After each insert, the incremental cover equals the batch
+		// cover of the prefix relation.
+		prefix := r.Restrict(seq(tt + 1))
+		want, err := core.Discover(ctx, prefix, core.Options{Armstrong: core.ArmstrongNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Cover(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !coversIdentical(got, want.FDs) {
+			t.Fatalf("after %d inserts:\n got %s\nwant %s", tt+1, got, want.FDs)
+		}
+	}
+	if m.Rows() != 7 || m.Arity() != 5 {
+		t.Errorf("shape %d×%d", m.Rows(), m.Arity())
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestAgreeSetsMatchBatch(t *testing.T) {
+	r := relation.PaperExample()
+	m, err := FromRelation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := agree.FromRelation(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.AgreeSets().Equal(batch.Sets) {
+		t.Errorf("incremental ag = %v, batch = %v",
+			m.AgreeSets().Strings(), batch.Sets.Strings())
+	}
+}
+
+func TestEmptyAgreeSetTracking(t *testing.T) {
+	m, err := New([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(want bool) {
+		t.Helper()
+		has := m.AgreeSets().Contains(attrset.Empty())
+		if has != want {
+			t.Fatalf("∅ present = %v, want %v (rows=%d)", has, want, m.Rows())
+		}
+	}
+	check(false) // no tuples
+	if err := m.Insert([]string{"1", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	check(false) // one tuple, no couples
+	if err := m.Insert([]string{"2", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	check(true) // the couple disagrees everywhere
+	if err := m.Insert([]string{"1", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	check(true) // still one everywhere-disagreeing couple
+}
+
+func TestInsertErrors(t *testing.T) {
+	m, err := New([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert([]string{"only-one"}); err == nil {
+		t.Error("ragged insert accepted")
+	}
+	if _, err := New(make([]string, attrset.MaxAttrs+1)); err == nil {
+		t.Error("oversized schema accepted")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := relation.PaperExample()
+	m, err := FromRelation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rows() != r.Rows() || snap.Arity() != r.Arity() {
+		t.Fatal("snapshot shape mismatch")
+	}
+	for tt := 0; tt < r.Rows(); tt++ {
+		for a := 0; a < r.Arity(); a++ {
+			if snap.Value(tt, a) != r.Value(tt, a) {
+				t.Fatalf("snapshot value (%d,%d) = %q, want %q",
+					tt, a, snap.Value(tt, a), r.Value(tt, a))
+			}
+		}
+	}
+}
+
+func TestMaxSets(t *testing.T) {
+	m, err := FromRelation(relation.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	max, err := m.MaxSets(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := attrset.Family{attrset.New(0), attrset.New(1, 3, 4), attrset.New(2, 4)}
+	if !max.Equal(want) {
+		t.Errorf("MaxSets = %v, want %v", max.Strings(), want.Strings())
+	}
+}
+
+func TestDuplicateInserts(t *testing.T) {
+	m, err := New([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Insert([]string{"1", "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicates agree on the full schema.
+	if !m.AgreeSets().Contains(attrset.Universe(2)) {
+		t.Error("duplicate tuples must contribute the full-schema agree set")
+	}
+}
+
+// TestPropertyMatchesBatchOnRandomStreams: interleave inserts with cover
+// checks against the batch pipeline on random tuple streams.
+func TestPropertyMatchesBatchOnRandomStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	ctx := context.Background()
+	for iter := 0; iter < 25; iter++ {
+		n := 1 + rng.Intn(5)
+		names := make([]string, n)
+		for a := range names {
+			names[a] = "c" + strconv.Itoa(a)
+		}
+		m, err := New(names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows [][]string
+		steps := 2 + rng.Intn(18)
+		for s := 0; s < steps; s++ {
+			row := make([]string, n)
+			for a := range row {
+				row[a] = strconv.Itoa(rng.Intn(4))
+			}
+			rows = append(rows, row)
+			if err := m.Insert(row); err != nil {
+				t.Fatal(err)
+			}
+			if s%3 != steps%3 {
+				continue // check at a third of the steps to keep it fast
+			}
+			r, err := relation.FromRows(names, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.Discover(ctx, r, core.Options{Armstrong: core.ArmstrongNone})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Cover(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !coversIdentical(got, want.FDs) {
+				t.Fatalf("iter %d step %d:\n got %s\nwant %s", iter, s, got, want.FDs)
+			}
+		}
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	m, err := FromRelation(relation.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Cover(ctx); err == nil {
+		t.Error("cancelled context should abort Cover")
+	}
+}

@@ -1,0 +1,382 @@
+// Package ind discovers inclusion dependencies (INDs) across relations —
+// the companion problem of FD discovery in the framework the paper builds
+// on (Kantola, Mannila, Räihä, Siirtola 1992, cited as [KMRS92]): FDs
+// drive normalisation, INDs identify the foreign-key joins between the
+// normalised fragments.
+//
+// An inclusion dependency R[X] ⊆ S[Y] (with X, Y attribute sequences of
+// equal arity) holds when every X-projection tuple of R appears as a
+// Y-projection tuple of S. Discovery proceeds in the classical two
+// stages:
+//
+//  1. Unary INDs R.A ⊆ S.B by value-set containment, for all column
+//     pairs across the given relations.
+//  2. n-ary INDs with the levelwise candidate generation of De Marchi et
+//     al.: a k-ary candidate is viable only if every (k−1)-ary
+//     sub-dependency (dropping position i on both sides) holds; valid
+//     candidates are verified against the data by projection containment.
+//
+// Only ⊆-maximal results are interesting to a dba; Maximal filters the
+// output accordingly.
+package ind
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// ColumnRef identifies a column of one of the input relations.
+type ColumnRef struct {
+	Relation int // index into the Discover input slice
+	Attr     int // column index within that relation
+}
+
+// IND is an inclusion dependency LHS ⊆ RHS over parallel attribute
+// sequences: LHS[i] corresponds to RHS[i].
+type IND struct {
+	LHS []ColumnRef
+	RHS []ColumnRef
+}
+
+// Arity returns the number of attribute positions.
+func (d IND) Arity() int { return len(d.LHS) }
+
+// String renders the IND with relation and column indices,
+// e.g. "r0[1,2] ⊆ r1[0,1]".
+func (d IND) String() string {
+	return fmt.Sprintf("r%d%s ⊆ r%d%s",
+		d.LHS[0].Relation, positions(d.LHS), d.RHS[0].Relation, positions(d.RHS))
+}
+
+// Names renders the IND with relation and attribute names.
+func (d IND) Names(relNames []string, rels []*relation.Relation) string {
+	part := func(refs []ColumnRef) string {
+		var b strings.Builder
+		b.WriteString(relNames[refs[0].Relation])
+		b.WriteByte('(')
+		for i, ref := range refs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(rels[ref.Relation].Name(ref.Attr))
+		}
+		b.WriteByte(')')
+		return b.String()
+	}
+	return part(d.LHS) + " ⊆ " + part(d.RHS)
+}
+
+func positions(refs []ColumnRef) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, ref := range refs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", ref.Attr)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Options configure discovery.
+type Options struct {
+	// MaxArity bounds the IND width explored (0 = unary only is never
+	// implied; default 4 keeps the exponential candidate space sane).
+	MaxArity int
+	// KeepReflexive keeps trivial INDs of a column sequence in itself.
+	// Off by default.
+	KeepReflexive bool
+}
+
+func (o Options) maxArity() int {
+	if o.MaxArity <= 0 {
+		return 4
+	}
+	return o.MaxArity
+}
+
+// Result is the outcome of IND discovery.
+type Result struct {
+	// INDs holds every valid dependency up to MaxArity, in deterministic
+	// order.
+	INDs []IND
+	// Candidates counts the n-ary candidates tested (search-space size).
+	Candidates int
+}
+
+// Discover finds inclusion dependencies within and across the given
+// relations.
+func Discover(ctx context.Context, rels []*relation.Relation, opts Options) (*Result, error) {
+	res := &Result{}
+	// Stage 1: unary INDs by value-set containment.
+	sets := make([][]map[string]struct{}, len(rels))
+	for ri, r := range rels {
+		sets[ri] = make([]map[string]struct{}, r.Arity())
+		for a := 0; a < r.Arity(); a++ {
+			vs := make(map[string]struct{}, r.DomainSize(a))
+			for code := 0; code < r.DomainSize(a); code++ {
+				vs[r.ValueForCode(a, code)] = struct{}{}
+			}
+			sets[ri][a] = vs
+		}
+	}
+	var unary []IND
+	for li, lr := range rels {
+		for la := 0; la < lr.Arity(); la++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("ind: cancelled: %w", err)
+			}
+			for ri := range rels {
+				for ra := 0; ra < rels[ri].Arity(); ra++ {
+					if li == ri && la == ra {
+						if opts.KeepReflexive {
+							unary = append(unary, mk(li, ri, []int{la}, []int{ra}))
+						}
+						continue
+					}
+					res.Candidates++
+					if contains(sets[li][la], sets[ri][ra]) {
+						unary = append(unary, mk(li, ri, []int{la}, []int{ra}))
+					}
+				}
+			}
+		}
+	}
+	res.INDs = append(res.INDs, unary...)
+
+	// Stage 2: levelwise n-ary candidates from the valid (k−1)-ary ones.
+	level := unary
+	for k := 2; k <= opts.maxArity() && len(level) > 0; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ind: cancelled: %w", err)
+		}
+		valid := indexByKey(level)
+		var next []IND
+		seen := map[string]struct{}{}
+		for _, d1 := range level {
+			for _, d2 := range level {
+				cand, ok := join(d1, d2)
+				if !ok {
+					continue
+				}
+				ck := key(cand)
+				if _, dup := seen[ck]; dup {
+					continue
+				}
+				seen[ck] = struct{}{}
+				if !allSubINDsValid(cand, valid) {
+					continue
+				}
+				res.Candidates++
+				if holds(rels, cand) {
+					next = append(next, cand)
+				}
+			}
+		}
+		sortINDs(next)
+		res.INDs = append(res.INDs, next...)
+		level = next
+	}
+	sortINDs(res.INDs)
+	return res, nil
+}
+
+// indexByKey indexes valid INDs by their canonical key for the Apriori
+// prune.
+func indexByKey(ds []IND) map[string]struct{} {
+	out := make(map[string]struct{}, len(ds))
+	for _, d := range ds {
+		out[key(d)] = struct{}{}
+	}
+	return out
+}
+
+func mk(lrel, rrel int, lattrs, rattrs []int) IND {
+	d := IND{}
+	for _, a := range lattrs {
+		d.LHS = append(d.LHS, ColumnRef{lrel, a})
+	}
+	for _, a := range rattrs {
+		d.RHS = append(d.RHS, ColumnRef{rrel, a})
+	}
+	return d
+}
+
+func contains(sub, super map[string]struct{}) bool {
+	if len(sub) > len(super) {
+		return false
+	}
+	for v := range sub {
+		if _, ok := super[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// join merges two k-ary INDs sharing relations and the first k−1
+// positions into a (k+1)-ary candidate, requiring strictly increasing
+// final LHS attrs to avoid permuted duplicates, and distinct new columns
+// on both sides.
+func join(d1, d2 IND) (IND, bool) {
+	k := d1.Arity()
+	if d2.Arity() != k {
+		return IND{}, false
+	}
+	if d1.LHS[0].Relation != d2.LHS[0].Relation || d1.RHS[0].Relation != d2.RHS[0].Relation {
+		return IND{}, false
+	}
+	for i := 0; i < k-1; i++ {
+		if d1.LHS[i] != d2.LHS[i] || d1.RHS[i] != d2.RHS[i] {
+			return IND{}, false
+		}
+	}
+	l1, l2 := d1.LHS[k-1], d2.LHS[k-1]
+	r1, r2 := d1.RHS[k-1], d2.RHS[k-1]
+	if l1.Attr >= l2.Attr { // canonical order on the LHS tail
+		return IND{}, false
+	}
+	if r1 == r2 { // RHS columns must stay distinct
+		return IND{}, false
+	}
+	// No repeated columns anywhere (sequences with repeats are valid in
+	// theory but useless as foreign keys).
+	for i := 0; i < k-1; i++ {
+		if d1.LHS[i] == l2 || d1.RHS[i] == r2 {
+			return IND{}, false
+		}
+	}
+	cand := IND{
+		LHS: append(append([]ColumnRef{}, d1.LHS...), l2),
+		RHS: append(append([]ColumnRef{}, d1.RHS...), r2),
+	}
+	return cand, true
+}
+
+// allSubINDsValid applies the Apriori prune: dropping any position must
+// leave a valid IND.
+func allSubINDsValid(cand IND, valid map[string]struct{}) bool {
+	k := cand.Arity()
+	for drop := 0; drop < k; drop++ {
+		sub := IND{}
+		for i := 0; i < k; i++ {
+			if i == drop {
+				continue
+			}
+			sub.LHS = append(sub.LHS, cand.LHS[i])
+			sub.RHS = append(sub.RHS, cand.RHS[i])
+		}
+		subCanon := canonical(sub)
+		if _, ok := valid[key(subCanon)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// canonical reorders positions so LHS attrs are increasing — the order
+// valid INDs are stored in.
+func canonical(d IND) IND {
+	idx := make([]int, d.Arity())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d.LHS[idx[a]].Attr < d.LHS[idx[b]].Attr })
+	out := IND{}
+	for _, i := range idx {
+		out.LHS = append(out.LHS, d.LHS[i])
+		out.RHS = append(out.RHS, d.RHS[i])
+	}
+	return out
+}
+
+func key(d IND) string {
+	var b strings.Builder
+	for i := range d.LHS {
+		fmt.Fprintf(&b, "%d.%d>%d.%d|", d.LHS[i].Relation, d.LHS[i].Attr,
+			d.RHS[i].Relation, d.RHS[i].Attr)
+	}
+	return b.String()
+}
+
+// holds verifies an n-ary IND against the data by hashing the RHS
+// projection and probing every LHS projection tuple.
+func holds(rels []*relation.Relation, d IND) bool {
+	rr := rels[d.RHS[0].Relation]
+	lr := rels[d.LHS[0].Relation]
+	super := make(map[string]struct{}, rr.Rows())
+	var b strings.Builder
+	for t := 0; t < rr.Rows(); t++ {
+		b.Reset()
+		for _, ref := range d.RHS {
+			b.WriteString(rr.Value(t, ref.Attr))
+			b.WriteByte(0)
+		}
+		super[b.String()] = struct{}{}
+	}
+	for t := 0; t < lr.Rows(); t++ {
+		b.Reset()
+		for _, ref := range d.LHS {
+			b.WriteString(lr.Value(t, ref.Attr))
+			b.WriteByte(0)
+		}
+		if _, ok := super[b.String()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func sortINDs(ds []IND) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Arity() != ds[j].Arity() {
+			return ds[i].Arity() < ds[j].Arity()
+		}
+		return key(ds[i]) < key(ds[j])
+	})
+}
+
+// Maximal filters the result to the ⊆-maximal INDs: those not implied by
+// a wider IND via position projection (over the same relation pair).
+func (r *Result) Maximal() []IND {
+	var out []IND
+	for i, d := range r.INDs {
+		implied := false
+		for j, e := range r.INDs {
+			if i == j || e.Arity() <= d.Arity() {
+				continue
+			}
+			if covers(e, d) {
+				implied = true
+				break
+			}
+		}
+		if !implied {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// covers reports whether wide contains every (LHS,RHS) column pair of
+// narrow.
+func covers(wide, narrow IND) bool {
+	for i := range narrow.LHS {
+		found := false
+		for j := range wide.LHS {
+			if wide.LHS[j] == narrow.LHS[i] && wide.RHS[j] == narrow.RHS[i] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

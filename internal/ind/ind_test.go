@@ -1,0 +1,241 @@
+package ind
+
+import (
+	"context"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func rel(t *testing.T, names []string, rows [][]string) *relation.Relation {
+	t.Helper()
+	r, err := relation.FromRows(names, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// orders references customers: a classic foreign key.
+func fixtures(t *testing.T) []*relation.Relation {
+	customers := rel(t, []string{"cust_id", "city"}, [][]string{
+		{"c1", "Lyon"}, {"c2", "Paris"}, {"c3", "Lyon"},
+	})
+	orders := rel(t, []string{"order_id", "cust", "dest"}, [][]string{
+		{"o1", "c1", "Lyon"}, {"o2", "c1", "Paris"}, {"o3", "c3", "Lyon"},
+	})
+	return []*relation.Relation{customers, orders}
+}
+
+func hasIND(ds []IND, s string) bool {
+	for _, d := range ds {
+		if d.String() == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestUnaryForeignKey(t *testing.T) {
+	rels := fixtures(t)
+	res, err := Discover(context.Background(), rels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// orders.cust ⊆ customers.cust_id — the foreign key.
+	if !hasIND(res.INDs, "r1[1] ⊆ r0[0]") {
+		t.Errorf("missing FK IND; got %v", res.INDs)
+	}
+	// Not the converse: customers c2 has no order.
+	if hasIND(res.INDs, "r0[0] ⊆ r1[1]") {
+		t.Error("reverse FK should not hold")
+	}
+	// dest values ⊆ city values here.
+	if !hasIND(res.INDs, "r1[2] ⊆ r0[1]") {
+		t.Errorf("dest ⊆ city missing; got %v", res.INDs)
+	}
+}
+
+func TestNAryIND(t *testing.T) {
+	// s is a projection-superset of r on (a,b) pairs.
+	r0 := rel(t, []string{"a", "b"}, [][]string{
+		{"1", "x"}, {"2", "y"},
+	})
+	r1 := rel(t, []string{"p", "q"}, [][]string{
+		{"1", "x"}, {"2", "y"}, {"3", "z"},
+	})
+	res, err := Discover(context.Background(), []*relation.Relation{r0, r1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasIND(res.INDs, "r0[0,1] ⊆ r1[0,1]") {
+		t.Errorf("binary IND missing; got %v", res.INDs)
+	}
+	// Maximal output hides the unary projections of the binary IND.
+	max := res.Maximal()
+	if hasIND(max, "r0[0] ⊆ r1[0]") {
+		t.Errorf("unary projection should be subsumed; max = %v", max)
+	}
+	if !hasIND(max, "r0[0,1] ⊆ r1[0,1]") {
+		t.Errorf("binary IND should be maximal; max = %v", max)
+	}
+}
+
+func TestNAryRequiresPairCorrespondence(t *testing.T) {
+	// Unary containments hold but the value *pairs* do not correspond:
+	// (1,y) of r0 is not a tuple of r1.
+	r0 := rel(t, []string{"a", "b"}, [][]string{
+		{"1", "y"}, {"2", "x"},
+	})
+	r1 := rel(t, []string{"p", "q"}, [][]string{
+		{"1", "x"}, {"2", "y"},
+	})
+	res, err := Discover(context.Background(), []*relation.Relation{r0, r1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasIND(res.INDs, "r0[0] ⊆ r1[0]") || !hasIND(res.INDs, "r0[1] ⊆ r1[1]") {
+		t.Fatalf("unary INDs missing; got %v", res.INDs)
+	}
+	if hasIND(res.INDs, "r0[0,1] ⊆ r1[0,1]") {
+		t.Error("pairwise IND should fail")
+	}
+}
+
+func TestWithinRelationINDs(t *testing.T) {
+	// manager ids are a subset of employee ids in the same relation.
+	r0 := rel(t, []string{"emp", "mgr"}, [][]string{
+		{"e1", "e2"}, {"e2", "e3"}, {"e3", "e3"},
+	})
+	res, err := Discover(context.Background(), []*relation.Relation{r0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasIND(res.INDs, "r0[1] ⊆ r0[0]") {
+		t.Errorf("self-referencing FK missing; got %v", res.INDs)
+	}
+	// Reflexive column-in-itself is dropped by default, kept on demand.
+	if hasIND(res.INDs, "r0[0] ⊆ r0[0]") {
+		t.Error("reflexive IND should be off by default")
+	}
+	res2, err := Discover(context.Background(), []*relation.Relation{r0}, Options{KeepReflexive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasIND(res2.INDs, "r0[0] ⊆ r0[0]") {
+		t.Error("KeepReflexive should keep it")
+	}
+}
+
+func TestNamesRendering(t *testing.T) {
+	rels := fixtures(t)
+	res, err := Discover(context.Background(), rels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.INDs {
+		if d.String() == "r1[1] ⊆ r0[0]" {
+			got := d.Names([]string{"customers", "orders"}, rels)
+			if got != "orders(cust) ⊆ customers(cust_id)" {
+				t.Errorf("Names = %q", got)
+			}
+			return
+		}
+	}
+	t.Fatal("FK IND not found")
+}
+
+func TestMaxArityBound(t *testing.T) {
+	// Identical relations: wide INDs exist; bound at 2.
+	rows := [][]string{{"1", "x", "p"}, {"2", "y", "q"}}
+	r0 := rel(t, []string{"a", "b", "c"}, rows)
+	r1 := rel(t, []string{"d", "e", "f"}, rows)
+	res, err := Discover(context.Background(), []*relation.Relation{r0, r1}, Options{MaxArity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.INDs {
+		if d.Arity() > 2 {
+			t.Errorf("IND %v exceeds MaxArity", d)
+		}
+	}
+	res3, err := Discover(context.Background(), []*relation.Relation{r0, r1}, Options{MaxArity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasIND(res3.INDs, "r0[0,1,2] ⊆ r1[0,1,2]") {
+		t.Errorf("ternary IND missing at MaxArity 3; got %v", res3.INDs)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Discover(ctx, fixtures(t), Options{}); err == nil {
+		t.Error("cancelled context should abort")
+	}
+}
+
+// bruteHolds checks an IND directly for the property test.
+func bruteHolds(rels []*relation.Relation, d IND) bool {
+	return holds(rels, d)
+}
+
+// TestPropertySoundAndComplete: on random relation pairs, every reported
+// IND holds, and every holding unary/binary IND is reported.
+func TestPropertySoundAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for iter := 0; iter < 30; iter++ {
+		mkRel := func() *relation.Relation {
+			n := 1 + rng.Intn(3)
+			rows := 1 + rng.Intn(8)
+			data := make([][]string, rows)
+			for i := range data {
+				row := make([]string, n)
+				for a := range row {
+					row[a] = strconv.Itoa(rng.Intn(3))
+				}
+				data[i] = row
+			}
+			names := make([]string, n)
+			for a := range names {
+				names[a] = "c" + strconv.Itoa(a)
+			}
+			r, err := relation.FromRows(names, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		rels := []*relation.Relation{mkRel(), mkRel()}
+		res, err := Discover(context.Background(), rels, Options{MaxArity: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reported := map[string]bool{}
+		for _, d := range res.INDs {
+			reported[key(d)] = true
+			if !bruteHolds(rels, d) {
+				t.Fatalf("iter %d: reported IND %v does not hold", iter, d)
+			}
+		}
+		// Completeness for unary INDs.
+		for li, lr := range rels {
+			for la := 0; la < lr.Arity(); la++ {
+				for ri, rr := range rels {
+					for ra := 0; ra < rr.Arity(); ra++ {
+						if li == ri && la == ra {
+							continue
+						}
+						d := mk(li, ri, []int{la}, []int{ra})
+						if bruteHolds(rels, d) && !reported[key(d)] {
+							t.Fatalf("iter %d: holding unary IND %v missed", iter, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}

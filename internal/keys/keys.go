@@ -1,0 +1,120 @@
+// Package keys discovers the candidate keys of a relation instance: the
+// ⊆-minimal attribute sets whose stripped partition is empty (every tuple
+// unique), also known as minimal unique column combinations.
+//
+// Candidate keys are the other half of the dba workflow the Dep-Miner
+// paper targets: the discovered FDs say what *should* be keys
+// (X with X⁺ = R), and this package says what *is* unique in the
+// instance; the two coincide exactly (a set is an instance key iff the
+// discovered cover closes it to R), which the test suite exploits as a
+// cross-check between this levelwise search and the FD pipeline.
+//
+// The search is TANE-style levelwise over the attribute lattice: level k
+// holds the non-unique k-sets, partitions are computed by products along
+// the lattice, supersets of found keys are pruned via Apriori generation.
+package keys
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/attrset"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Result is the outcome of a key discovery run.
+type Result struct {
+	// Keys are the minimal candidate keys in canonical order. For a
+	// relation with duplicate tuples no key exists and Keys is empty
+	// (no attribute set can separate identical tuples).
+	Keys attrset.Family
+	// LatticeNodes counts materialised attribute sets.
+	LatticeNodes int
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Discover finds all minimal candidate keys of the relation.
+func Discover(ctx context.Context, r *relation.Relation) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	n := r.Arity()
+	if n == 0 {
+		// The empty set is a key iff the relation has at most one tuple.
+		if r.Rows() <= 1 {
+			res.Keys = attrset.Family{attrset.Empty()}
+		}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	if r.Rows() <= 1 {
+		res.Keys = attrset.Family{attrset.Empty()}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	prober := partition.NewProber(r.Rows())
+	type node struct{ part *partition.Partition }
+	level := make(map[attrset.Set]*node, n)
+	for a := 0; a < n; a++ {
+		level[attrset.Single(a)] = &node{part: partition.Single(r, a)}
+	}
+
+	for len(level) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("keys: cancelled: %w", err)
+		}
+		res.LatticeNodes += len(level)
+		survivors := make(map[attrset.Set]*node, len(level))
+		for x, nd := range level {
+			if nd.part.IsUnique() {
+				res.Keys = append(res.Keys, x)
+			} else {
+				survivors[x] = nd
+			}
+		}
+		// Apriori join of the non-unique sets; supersets of keys cannot
+		// be generated because one of their subsets is missing.
+		next := make(map[attrset.Set]*node)
+		byPrefix := make(map[attrset.Set][]attrset.Set)
+		for x := range survivors {
+			last := x.Max()
+			p := x.Without(last)
+			byPrefix[p] = append(byPrefix[p], x)
+		}
+		for _, members := range byPrefix {
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					cand := members[i].Union(members[j])
+					if _, dup := next[cand]; dup {
+						continue
+					}
+					ok := true
+					cand.ForEach(func(a attrset.Attr) {
+						if _, in := survivors[cand.Without(a)]; !in {
+							ok = false
+						}
+					})
+					if !ok {
+						continue
+					}
+					next[cand] = &node{
+						part: prober.Product(survivors[members[i]].part, survivors[members[j]].part),
+					}
+				}
+			}
+		}
+		level = next
+	}
+	res.Keys.Sort()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// IsUnique reports whether X is a superkey of the instance (no two tuples
+// agree on all of X), by direct partition computation.
+func IsUnique(r *relation.Relation, x attrset.Set) bool {
+	return partition.Of(r, x).IsUnique()
+}

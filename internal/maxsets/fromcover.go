@@ -1,0 +1,59 @@
+package maxsets
+
+import (
+	"context"
+
+	"repro/internal/attrset"
+	"repro/internal/fd"
+	"repro/internal/hypergraph"
+)
+
+// FromCover recovers maximal sets from a cover of all minimal non-trivial
+// FDs — the TANE→Armstrong bridge the paper sketches in §5.1: since
+// Tr(Tr(H)) = H for simple hypergraphs, cmax(dep(r),A) =
+// Tr(lhs(dep(r),A)), where lhs(dep(r),A) is the cover's LHS family for A
+// plus the trivial {A} (or just {∅} when ∅ → A holds — then A is constant
+// and has no maximal sets).
+//
+// The cover must contain exactly the minimal FDs per RHS (what TANE and
+// Dep-Miner emit); arbitrary covers would first need minimisation per
+// attribute.
+func FromCover(ctx context.Context, cover fd.Cover, arity int) (*Result, error) {
+	byRHS := cover.ByRHS(arity)
+	max := make([]attrset.Family, arity)
+	for a := 0; a < arity; a++ {
+		lhs := byRHS[a]
+		constant := false
+		for _, x := range lhs {
+			if x.IsEmpty() {
+				constant = true
+				break
+			}
+		}
+		if constant {
+			// lhs(dep(r),A) = {∅}: A agrees in every couple, no agree
+			// set avoids it, so max(dep(r),A) = ∅.
+			max[a] = nil
+			continue
+		}
+		// lhs(dep(r),A) includes the trivial {A}.
+		family := append(attrset.Family{attrset.Single(a)}, lhs...)
+		h := hypergraph.Simplify(family)
+		cmax, err := h.MinimalTransversals(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(cmax) == 1 && cmax[0].IsEmpty() {
+			// Tr of edgeless hypergraph — cannot happen since family is
+			// never empty, but keep the invariant explicit.
+			max[a] = nil
+			continue
+		}
+		fam := make(attrset.Family, len(cmax))
+		for i, e := range cmax {
+			fam[i] = e.Complement(arity)
+		}
+		max[a] = fam
+	}
+	return FromMax(max, arity), nil
+}

@@ -1,0 +1,106 @@
+// Package maxsets derives maximal sets and their complements from agree
+// sets (paper §3.2, Algorithm 4 CMAX_SET).
+//
+// A maximal set for attribute A is a largest attribute set that does not
+// determine A: max(dep(r),A) = Max⊆{X ⊆ R | r ⊭ X → A}. Lemma 3
+// characterises it from agree sets as Max⊆{X ∈ ag(r) | A ∉ X}. The
+// complements cmax(dep(r),A) = {R \ X | X ∈ max(dep(r),A)} form a simple
+// hypergraph whose minimal transversals are the LHSs of the minimal FDs
+// with right-hand side A.
+//
+// MAX(dep(r)) = ⋃_A max(dep(r),A) equals GEN(dep(r)), the intersection
+// generators of the closed-set family (Mannila & Räihä), which is what the
+// Armstrong-relation construction consumes.
+package maxsets
+
+import (
+	"repro/internal/attrset"
+)
+
+// Result holds, per attribute A of a schema of Arity attributes, the
+// maximal sets and their complements.
+type Result struct {
+	Arity int
+	// Max[a] is max(dep(r), a) in canonical order.
+	Max []attrset.Family
+	// CMax[a] is cmax(dep(r), a) = complements of Max[a], in canonical
+	// order.
+	CMax []attrset.Family
+}
+
+// Compute runs CMAX_SET: from the agree sets of a relation over arity
+// attributes, derive max(dep(r),A) and cmax(dep(r),A) for every A.
+//
+// Following Lemma 3 (amended as in internal/agree to handle the empty
+// agree set): candidates for attribute A are the agree sets X with A ∉ X,
+// including ∅ when ∅ ∈ ag(r); taking Max⊆ then yields max(dep(r),A). When
+// ag(r) has no candidate at all for A (every couple of tuples agrees on
+// A), max(dep(r),A) is empty and so is cmax — the levelwise search then
+// correctly derives ∅ → A (A is constant). The full schema R never
+// appears among candidates because A ∈ R for every A; duplicate tuples
+// (which contribute R to ag(r)) therefore cannot corrupt the result.
+func Compute(agreeSets attrset.Family, arity int) *Result {
+	res := &Result{
+		Arity: arity,
+		Max:   make([]attrset.Family, arity),
+		CMax:  make([]attrset.Family, arity),
+	}
+	// Bucket agree sets by excluded attribute in one pass.
+	candidates := make([]attrset.Family, arity)
+	for _, x := range agreeSets {
+		for a := 0; a < arity; a++ {
+			if !x.Contains(a) {
+				candidates[a] = append(candidates[a], x)
+			}
+		}
+	}
+	for a := 0; a < arity; a++ {
+		res.Max[a] = candidates[a].Maximal()
+		cmax := make(attrset.Family, len(res.Max[a]))
+		for i, x := range res.Max[a] {
+			cmax[i] = x.Complement(arity)
+		}
+		cmax.Sort()
+		res.CMax[a] = cmax
+	}
+	return res
+}
+
+// AllMax returns MAX(dep(r)) = ⋃_A max(dep(r),A), deduplicated, in
+// canonical order. This is the input of the Armstrong-relation
+// construction (paper §4).
+func (r *Result) AllMax() attrset.Family {
+	var all attrset.Family
+	for _, f := range r.Max {
+		all = append(all, f...)
+	}
+	all = all.Dedup()
+	all.Sort()
+	return all
+}
+
+// FromMax rebuilds a Result (both Max and CMax) from per-attribute maximal
+// sets. It is used by the TANE→Armstrong bridge, where maximal sets are
+// recovered from LHSs via transversals rather than from agree sets.
+func FromMax(max []attrset.Family, arity int) *Result {
+	res := &Result{
+		Arity: arity,
+		Max:   make([]attrset.Family, arity),
+		CMax:  make([]attrset.Family, arity),
+	}
+	for a := 0; a < arity; a++ {
+		var m attrset.Family
+		if a < len(max) {
+			m = max[a].Dedup()
+		}
+		m.Sort()
+		res.Max[a] = m
+		cmax := make(attrset.Family, len(m))
+		for i, x := range m {
+			cmax[i] = x.Complement(arity)
+		}
+		cmax.Sort()
+		res.CMax[a] = cmax
+	}
+	return res
+}

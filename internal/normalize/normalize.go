@@ -1,0 +1,364 @@
+// Package normalize implements schema normalisation from discovered
+// functional dependencies — the "logical tuning" workflow the Dep-Miner
+// paper motivates (§1): once a dba has validated the discovered FDs
+// (helped by the real-world Armstrong relation), the relation schema can
+// be decomposed to remove update anomalies and redundancy.
+//
+// Two classical algorithms are provided:
+//
+//   - ThreeNF: Bernstein-style 3NF synthesis from a canonical cover —
+//     lossless-join and dependency-preserving.
+//   - BCNF: recursive BCNF decomposition — lossless-join (dependency
+//     preservation is not guaranteed by BCNF in general).
+//
+// Both operate on the whole-relation cover as discovered by Dep-Miner or
+// TANE. Checking a subschema's normal form requires projecting the
+// dependency theory, which is exponential in the subschema size; these
+// routines are meant for human-scale schemas (tens of attributes), like
+// the normalisation step they support.
+package normalize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attrset"
+	"repro/internal/fd"
+)
+
+// Schema is a decomposed relation schema: a subset of the original
+// attributes.
+type Schema struct {
+	Attrs attrset.Set
+	// Key is a candidate key of the subschema w.r.t. the projected
+	// dependencies (the synthesising FD's LHS for 3NF; the splitting LHS
+	// for BCNF fragments).
+	Key attrset.Set
+}
+
+// Names renders the schema with attribute names: "(a, b, c) key (a)".
+func (s Schema) Names(names []string) string {
+	return fmt.Sprintf("(%s) key (%s)", s.Attrs.Names(names, ", "), s.Key.Names(names, ", "))
+}
+
+// Decomposition is the result of a normalisation.
+type Decomposition struct {
+	Schemas []Schema
+	// Keys are the candidate keys of the original schema, computed on
+	// the way.
+	Keys attrset.Family
+}
+
+// ThreeNF synthesises a lossless-join, dependency-preserving 3NF
+// decomposition from the cover (Bernstein 1976, as in Mannila–Räihä's
+// design-by-example setting):
+//
+//  1. take a canonical cover,
+//  2. group FDs by left-hand side, one schema X ∪ {A1..Ak} per group,
+//  3. drop schemas contained in others,
+//  4. if no schema contains a candidate key of R, add one key schema.
+func ThreeNF(cover fd.Cover, arity int) *Decomposition {
+	canon := cover.Minimize(arity)
+	keys := canon.Keys(arity)
+
+	// Group by LHS.
+	groups := make(map[attrset.Set]attrset.Set) // LHS → LHS ∪ RHSs
+	var order []attrset.Set
+	for _, f := range canon {
+		if _, ok := groups[f.LHS]; !ok {
+			groups[f.LHS] = f.LHS
+			order = append(order, f.LHS)
+		}
+		groups[f.LHS] = groups[f.LHS].With(f.RHS)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Compare(order[j]) < 0 })
+
+	var schemas []Schema
+	for _, lhs := range order {
+		schemas = append(schemas, Schema{Attrs: groups[lhs], Key: lhs})
+	}
+	// Drop contained schemas (keep the first maximal occurrence).
+	schemas = dropContained(schemas)
+
+	// Ensure some schema contains a key of R.
+	hasKey := false
+	for _, s := range schemas {
+		for _, k := range keys {
+			if k.SubsetOf(s.Attrs) {
+				hasKey = true
+				break
+			}
+		}
+		if hasKey {
+			break
+		}
+	}
+	if !hasKey && arity > 0 {
+		k := keys[0]
+		schemas = append(schemas, Schema{Attrs: k, Key: k})
+		schemas = dropContained(schemas)
+	}
+	return &Decomposition{Schemas: schemas, Keys: keys}
+}
+
+func dropContained(in []Schema) []Schema {
+	var out []Schema
+	for i, s := range in {
+		contained := false
+		for j, t := range in {
+			if i == j {
+				continue
+			}
+			if s.Attrs.ProperSubsetOf(t.Attrs) ||
+				(s.Attrs == t.Attrs && j < i) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BCNF decomposes R into Boyce–Codd normal form: while some subschema S
+// has a violating dependency X → A (X ⊆ S, A ∈ (X⁺ ∩ S) \ X, X not a
+// superkey of S), split S into X⁺ ∩ S and X ∪ (S \ X⁺). Each split is
+// lossless because the fragments intersect exactly in X, which determines
+// the first fragment.
+//
+// The violation search projects the dependency theory onto S by closure
+// queries over subsets of S, so it is exponential in |S|; arity is capped
+// at 24 to keep that explicit.
+func BCNF(cover fd.Cover, arity int) (*Decomposition, error) {
+	const maxArity = 24
+	if arity > maxArity {
+		return nil, fmt.Errorf("normalize: BCNF projection is exponential; arity %d exceeds the %d-attribute cap", arity, maxArity)
+	}
+	keys := cover.Keys(arity)
+	var out []Schema
+	var rec func(s attrset.Set)
+	rec = func(s attrset.Set) {
+		if x, ok := findBCNFViolation(cover, s, arity); ok {
+			closure := cover.Closure(x, arity).Intersect(s)
+			left := closure
+			right := x.Union(s.Diff(closure))
+			rec(left)
+			rec(right)
+			return
+		}
+		out = append(out, Schema{Attrs: s, Key: subschemaKey(cover, s, arity)})
+	}
+	if arity > 0 {
+		rec(attrset.Universe(arity))
+	}
+	out = dropContained(out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Attrs.Compare(out[j].Attrs) < 0 })
+	return &Decomposition{Schemas: out, Keys: keys}, nil
+}
+
+// findBCNFViolation returns some X ⊆ S whose closure captures an attribute
+// of S outside X while X does not determine all of S.
+func findBCNFViolation(cover fd.Cover, s attrset.Set, arity int) (attrset.Set, bool) {
+	attrs := s.Attrs()
+	n := len(attrs)
+	for bits := uint64(1); bits < 1<<uint(n)-1; bits++ {
+		var x attrset.Set
+		for b := 0; b < n; b++ {
+			if bits&(1<<uint(b)) != 0 {
+				x.Add(attrs[b])
+			}
+		}
+		cl := cover.Closure(x, arity)
+		inS := cl.Intersect(s)
+		if s.SubsetOf(cl) {
+			continue // X is a superkey of S
+		}
+		if !inS.SubsetOf(x) {
+			return x, true // determines something in S beyond itself
+		}
+	}
+	return attrset.Set{}, false
+}
+
+// subschemaKey returns a minimal X ⊆ S with S ⊆ X⁺ (a key of the
+// fragment).
+func subschemaKey(cover fd.Cover, s attrset.Set, arity int) attrset.Set {
+	key := s
+	for _, a := range s.Attrs() {
+		reduced := key.Without(a)
+		if s.SubsetOf(cover.Closure(reduced, arity)) {
+			key = reduced
+		}
+	}
+	return key
+}
+
+// IsBCNF reports whether subschema S is in BCNF w.r.t. the (global)
+// cover: every non-trivial projected dependency has a superkey LHS.
+func IsBCNF(cover fd.Cover, s attrset.Set, arity int) bool {
+	_, violated := findBCNFViolation(cover, s, arity)
+	return !violated
+}
+
+// Is3NF reports whether subschema S is in 3NF w.r.t. the cover: for every
+// non-trivial projected dependency X → A, X is a superkey of S or A is a
+// prime attribute (member of some candidate key) of S.
+func Is3NF(cover fd.Cover, s attrset.Set, arity int) bool {
+	prime := attrset.Set{}
+	for _, k := range subschemaKeys(cover, s, arity) {
+		prime = prime.Union(k)
+	}
+	attrs := s.Attrs()
+	n := len(attrs)
+	for bits := uint64(1); bits < 1<<uint(n); bits++ {
+		var x attrset.Set
+		for b := 0; b < n; b++ {
+			if bits&(1<<uint(b)) != 0 {
+				x.Add(attrs[b])
+			}
+		}
+		cl := cover.Closure(x, arity)
+		if s.SubsetOf(cl) {
+			continue // superkey LHS
+		}
+		bad := false
+		cl.Intersect(s).Diff(x).ForEach(func(a attrset.Attr) {
+			if !prime.Contains(a) {
+				bad = true
+			}
+		})
+		if bad {
+			return false
+		}
+	}
+	return true
+}
+
+// subschemaKeys enumerates the candidate keys of subschema S w.r.t. the
+// projected theory: minimal X ⊆ S with S ⊆ X⁺.
+func subschemaKeys(cover fd.Cover, s attrset.Set, arity int) attrset.Family {
+	attrs := s.Attrs()
+	n := len(attrs)
+	var fam attrset.Family
+	for bits := uint64(0); bits < 1<<uint(n); bits++ {
+		var x attrset.Set
+		for b := 0; b < n; b++ {
+			if bits&(1<<uint(b)) != 0 {
+				x.Add(attrs[b])
+			}
+		}
+		if s.SubsetOf(cover.Closure(x, arity)) {
+			fam = append(fam, x)
+		}
+	}
+	return fam.Minimal()
+}
+
+// PreservesDependencies reports whether the decomposition preserves the
+// cover: the union of the projections onto each schema implies every FD
+// of the cover. Projections are computed by closure queries per schema
+// (exponential per schema size).
+func PreservesDependencies(cover fd.Cover, dec *Decomposition, arity int) bool {
+	var projected fd.Cover
+	for _, sch := range dec.Schemas {
+		attrs := sch.Attrs.Attrs()
+		n := len(attrs)
+		for bits := uint64(0); bits < 1<<uint(n); bits++ {
+			var x attrset.Set
+			for b := 0; b < n; b++ {
+				if bits&(1<<uint(b)) != 0 {
+					x.Add(attrs[b])
+				}
+			}
+			cl := cover.Closure(x, arity).Intersect(sch.Attrs)
+			cl.Diff(x).ForEach(func(a attrset.Attr) {
+				projected = append(projected, fd.FD{LHS: x, RHS: a})
+			})
+		}
+	}
+	for _, f := range cover {
+		if !projected.Implies(f, arity) {
+			return false
+		}
+	}
+	return true
+}
+
+// LosslessJoin reports whether a decomposition of R into the given schemas
+// has the lossless-join property w.r.t. the cover, using the chase
+// (tableau) test.
+func LosslessJoin(cover fd.Cover, dec *Decomposition, arity int) bool {
+	if len(dec.Schemas) == 0 {
+		return arity == 0
+	}
+	// Tableau: one row per schema; cell (i, a) holds a symbol; distinct
+	// symbols unless the schema contains a (shared "a" subscript-less
+	// symbol, modelled as 0; others start distinct).
+	rows := len(dec.Schemas)
+	tab := make([][]int, rows)
+	next := 1
+	for i, sch := range dec.Schemas {
+		tab[i] = make([]int, arity)
+		for a := 0; a < arity; a++ {
+			if sch.Attrs.Contains(a) {
+				tab[i][a] = 0 // distinguished symbol
+			} else {
+				tab[i][a] = next
+				next++
+			}
+		}
+	}
+	// Chase: repeatedly equate RHS symbols of rows agreeing on an FD's
+	// LHS, preferring the distinguished symbol.
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range cover {
+			for i := 0; i < rows; i++ {
+				for j := i + 1; j < rows; j++ {
+					agree := true
+					f.LHS.ForEach(func(a attrset.Attr) {
+						if a < arity && tab[i][a] != tab[j][a] {
+							agree = false
+						}
+					})
+					if !agree || f.RHS >= arity {
+						continue
+					}
+					vi, vj := tab[i][f.RHS], tab[j][f.RHS]
+					if vi == vj {
+						continue
+					}
+					keep, drop := vi, vj
+					if vj < vi {
+						keep, drop = vj, vi
+					}
+					for x := 0; x < rows; x++ {
+						for a := 0; a < arity; a++ {
+							if tab[x][a] == drop {
+								tab[x][a] = keep
+							}
+						}
+					}
+					changed = true
+				}
+			}
+		}
+		// A row of all distinguished symbols proves losslessness.
+		for i := 0; i < rows; i++ {
+			all := true
+			for a := 0; a < arity; a++ {
+				if tab[i][a] != 0 {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,249 @@
+package normalize
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attrset"
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+func set(spec string) attrset.Set {
+	s, ok := attrset.Parse(spec)
+	if !ok {
+		panic("bad spec " + spec)
+	}
+	return s
+}
+
+func mk(lhs string, rhs int) fd.FD { return fd.FD{LHS: set(lhs), RHS: rhs} }
+
+// The paper's running example cover.
+func paperCover() fd.Cover {
+	return fd.MineBrute(relation.PaperExample())
+}
+
+func TestThreeNFPaperExample(t *testing.T) {
+	cover := paperCover()
+	dec := ThreeNF(cover, 5)
+	if len(dec.Schemas) == 0 {
+		t.Fatal("no schemas")
+	}
+	union := attrset.Set{}
+	for _, s := range dec.Schemas {
+		union = union.Union(s.Attrs)
+		if !Is3NF(cover, s.Attrs, 5) {
+			t.Errorf("schema %v not in 3NF", s.Attrs)
+		}
+		if !s.Key.SubsetOf(s.Attrs) {
+			t.Errorf("key %v outside schema %v", s.Key, s.Attrs)
+		}
+	}
+	if union != attrset.Universe(5) {
+		t.Errorf("attributes lost: union = %v", union)
+	}
+	if !PreservesDependencies(cover, dec, 5) {
+		t.Error("3NF synthesis must preserve dependencies")
+	}
+	if !LosslessJoin(cover, dec, 5) {
+		t.Error("3NF synthesis must be lossless")
+	}
+	// Some schema contains a candidate key of R.
+	hasKey := false
+	for _, s := range dec.Schemas {
+		for _, k := range dec.Keys {
+			if k.SubsetOf(s.Attrs) {
+				hasKey = true
+			}
+		}
+	}
+	if !hasKey {
+		t.Error("no schema contains a key of R")
+	}
+}
+
+func TestBCNFPaperExample(t *testing.T) {
+	cover := paperCover()
+	dec, err := BCNF(cover, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := attrset.Set{}
+	for _, s := range dec.Schemas {
+		union = union.Union(s.Attrs)
+		if !IsBCNF(cover, s.Attrs, 5) {
+			t.Errorf("schema %v not in BCNF", s.Attrs)
+		}
+	}
+	if union != attrset.Universe(5) {
+		t.Errorf("attributes lost: union = %v", union)
+	}
+	if !LosslessJoin(cover, dec, 5) {
+		t.Error("BCNF decomposition must be lossless")
+	}
+}
+
+func TestBCNFArityCap(t *testing.T) {
+	if _, err := BCNF(nil, 25); err == nil {
+		t.Error("arity 25 should be rejected")
+	}
+}
+
+func TestTextbookExample(t *testing.T) {
+	// R(A,B,C), A → B: BCNF splits into (A,B) and (A,C).
+	cover := fd.Cover{mk("A", 1)}
+	dec, err := BCNF(cover, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Schemas) != 2 {
+		t.Fatalf("schemas = %d, want 2", len(dec.Schemas))
+	}
+	want := map[attrset.Set]bool{set("AB"): true, set("AC"): true}
+	for _, s := range dec.Schemas {
+		if !want[s.Attrs] {
+			t.Errorf("unexpected schema %v", s.Attrs)
+		}
+	}
+	if !LosslessJoin(cover, dec, 3) {
+		t.Error("lossless expected")
+	}
+}
+
+func TestBCNFNotDependencyPreservingCase(t *testing.T) {
+	// Classic: R(A,B,C) with AB → C, C → B. BCNF cannot preserve AB → C.
+	cover := fd.Cover{mk("AB", 2), mk("C", 1)}
+	dec, err := BCNF(cover, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range dec.Schemas {
+		if !IsBCNF(cover, s.Attrs, 3) {
+			t.Errorf("schema %v not BCNF", s.Attrs)
+		}
+	}
+	if !LosslessJoin(cover, dec, 3) {
+		t.Error("lossless expected")
+	}
+	if PreservesDependencies(cover, dec, 3) {
+		t.Error("this decomposition is known to lose AB → C")
+	}
+	// 3NF keeps it.
+	dec3 := ThreeNF(cover, 3)
+	if !PreservesDependencies(cover, dec3, 3) {
+		t.Error("3NF must preserve dependencies")
+	}
+	if !LosslessJoin(cover, dec3, 3) {
+		t.Error("3NF must be lossless")
+	}
+}
+
+func TestAlreadyNormalized(t *testing.T) {
+	// A → B over AB is already BCNF: single schema.
+	cover := fd.Cover{mk("A", 1)}
+	dec, err := BCNF(cover, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Schemas) != 1 || dec.Schemas[0].Attrs != set("AB") {
+		t.Errorf("schemas = %v", dec.Schemas)
+	}
+	// No FDs at all: whole schema, key = R.
+	dec, err = BCNF(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Schemas) != 1 || dec.Schemas[0].Key != set("ABC") {
+		t.Errorf("no-FD decomposition wrong: %v", dec.Schemas)
+	}
+}
+
+func TestZeroArity(t *testing.T) {
+	dec, err := BCNF(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Schemas) != 0 {
+		t.Error("zero-arity should produce no schemas")
+	}
+	dec3 := ThreeNF(nil, 0)
+	if len(dec3.Schemas) != 0 {
+		t.Error("zero-arity 3NF should produce no schemas")
+	}
+}
+
+func TestSchemaNames(t *testing.T) {
+	s := Schema{Attrs: set("AB"), Key: set("A")}
+	got := s.Names([]string{"empnum", "depnum"})
+	if got != "(empnum, depnum) key (empnum)" {
+		t.Errorf("Names = %q", got)
+	}
+}
+
+func TestIs3NFPrimeAttributeCase(t *testing.T) {
+	// AB → C, C → B over ABC: C → B has non-superkey LHS but B is prime
+	// (AB and AC are keys) → 3NF holds; BCNF fails.
+	cover := fd.Cover{mk("AB", 2), mk("C", 1)}
+	s := set("ABC")
+	if !Is3NF(cover, s, 3) {
+		t.Error("ABC should be 3NF")
+	}
+	if IsBCNF(cover, s, 3) {
+		t.Error("ABC should not be BCNF")
+	}
+}
+
+// Property: on random covers, 3NF synthesis always yields 3NF schemas,
+// preserves dependencies and the lossless join; BCNF always yields BCNF
+// schemas and the lossless join.
+func TestPropertyNormalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for iter := 0; iter < 60; iter++ {
+		arity := 2 + rng.Intn(4)
+		var cover fd.Cover
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			var lhs attrset.Set
+			for b := 0; b < arity; b++ {
+				if rng.Intn(3) == 0 {
+					lhs.Add(b)
+				}
+			}
+			rhs := rng.Intn(arity)
+			if lhs.Contains(rhs) || lhs.IsEmpty() {
+				continue
+			}
+			cover = append(cover, fd.FD{LHS: lhs, RHS: rhs})
+		}
+		dec3 := ThreeNF(cover, arity)
+		for _, s := range dec3.Schemas {
+			if !Is3NF(cover, s.Attrs, arity) {
+				t.Fatalf("iter %d: 3NF violated by %v under %v", iter, s.Attrs, cover)
+			}
+		}
+		if !PreservesDependencies(cover, dec3, arity) {
+			t.Fatalf("iter %d: dependency preservation violated under %v", iter, cover)
+		}
+		if !LosslessJoin(cover, dec3, arity) {
+			t.Fatalf("iter %d: 3NF lossless join violated under %v", iter, cover)
+		}
+
+		decB, err := BCNF(cover, arity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		union := attrset.Set{}
+		for _, s := range decB.Schemas {
+			union = union.Union(s.Attrs)
+			if !IsBCNF(cover, s.Attrs, arity) {
+				t.Fatalf("iter %d: BCNF violated by %v under %v", iter, s.Attrs, cover)
+			}
+		}
+		if union != attrset.Universe(arity) {
+			t.Fatalf("iter %d: BCNF lost attributes", iter)
+		}
+		if !LosslessJoin(cover, decB, arity) {
+			t.Fatalf("iter %d: BCNF lossless join violated under %v", iter, cover)
+		}
+	}
+}

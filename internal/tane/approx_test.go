@@ -1,0 +1,153 @@
+package tane
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestEpsilonMonotonicity: raising ε can only loosen the cover — every FD
+// emitted at ε₁ must be implied at ε₂ ≥ ε₁ by some FD with a subset LHS
+// and the same RHS.
+func TestEpsilonMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for iter := 0; iter < 30; iter++ {
+		n := 2 + rng.Intn(3)
+		rows := 4 + rng.Intn(16)
+		cols := make([][]int, n)
+		for a := range cols {
+			cols[a] = make([]int, rows)
+			dom := 1 + rng.Intn(4)
+			for i := range cols[a] {
+				cols[a][i] = rng.Intn(dom)
+			}
+		}
+		r, err := relation.FromCodes(make([]string, n), cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps1 := rng.Float64() * 0.3
+		eps2 := eps1 + rng.Float64()*0.3
+		low := run(t, r, Options{Epsilon: eps1})
+		high := run(t, r, Options{Epsilon: eps2})
+		for _, f := range low.FDs {
+			ok := false
+			for _, g := range high.FDs {
+				if g.RHS == f.RHS && g.LHS.SubsetOf(f.LHS) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("iter %d: FD %s at ε=%.3f has no counterpart at ε=%.3f\nlow: %v\nhigh: %v",
+					iter, f, eps1, eps2, low.FDs, high.FDs)
+			}
+		}
+	}
+}
+
+// TestApproximateMinimality: no emitted FD has a proper-subset LHS also
+// emitted for the same RHS.
+func TestApproximateMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 30; iter++ {
+		n := 2 + rng.Intn(3)
+		rows := 4 + rng.Intn(16)
+		cols := make([][]int, n)
+		for a := range cols {
+			cols[a] = make([]int, rows)
+			dom := 1 + rng.Intn(4)
+			for i := range cols[a] {
+				cols[a][i] = rng.Intn(dom)
+			}
+		}
+		r, err := relation.FromCodes(make([]string, n), cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, r, Options{Epsilon: rng.Float64() * 0.4})
+		for i, f := range res.FDs {
+			for j, g := range res.FDs {
+				if i != j && f.RHS == g.RHS && g.LHS.ProperSubsetOf(f.LHS) {
+					t.Fatalf("iter %d: %s subsumed by %s", iter, f, g)
+				}
+			}
+		}
+	}
+}
+
+// TestG3AgainstDirectComputation pins the g3 helper itself.
+func TestG3AgainstDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for iter := 0; iter < 40; iter++ {
+		n := 2 + rng.Intn(3)
+		rows := 2 + rng.Intn(20)
+		cols := make([][]int, n)
+		for a := range cols {
+			cols[a] = make([]int, rows)
+			dom := 1 + rng.Intn(4)
+			for i := range cols[a] {
+				cols[a][i] = rng.Intn(dom)
+			}
+		}
+		r, err := relation.FromCodes(make([]string, n), cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every FD found at a generous epsilon gets its g3 re-derived
+		// directly; exact FDs must have g3 = 0.
+		res := run(t, r, Options{Epsilon: 0.45})
+		for _, f := range res.FDs {
+			if g := g3Direct(r, f); g > 0.45+1e-12 {
+				t.Fatalf("iter %d: emitted %s with g3 %v", iter, f, g)
+			}
+		}
+		exact := run(t, r, Options{})
+		for _, f := range exact.FDs {
+			if g := g3Direct(r, f); g != 0 {
+				t.Fatalf("iter %d: exact FD %s has g3 %v", iter, f, g)
+			}
+		}
+	}
+}
+
+// TestMaxLHSMatchesFilteredFull: bounding the LHS yields exactly the
+// full-run FDs whose LHS fits the bound.
+func TestMaxLHSMatchesFilteredFull(t *testing.T) {
+	r := relation.PaperExample()
+	full := run(t, r, Options{})
+	for bound := 1; bound <= 3; bound++ {
+		bounded := run(t, r, Options{MaxLHS: bound})
+		var want []string
+		for _, f := range full.FDs {
+			if f.LHS.Len() <= bound {
+				want = append(want, f.String())
+			}
+		}
+		if len(bounded.FDs) != len(want) {
+			t.Fatalf("bound %d: %d FDs, want %d", bound, len(bounded.FDs), len(want))
+		}
+		for i, f := range bounded.FDs {
+			if f.String() != want[i] {
+				t.Fatalf("bound %d: FD %d = %s, want %s", bound, i, f, want[i])
+			}
+		}
+	}
+}
+
+func TestZeroRowRelation(t *testing.T) {
+	r, err := relation.FromRows([]string{"a", "b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), r, Options{Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vacuously, ∅ → A for every attribute.
+	if len(res.FDs) != 2 {
+		t.Errorf("FDs = %v", res.FDs)
+	}
+}

@@ -1,0 +1,346 @@
+// Package tane reimplements the TANE algorithm (Huhtala, Kärkkäinen,
+// Porkka, Toivonen: "Efficient discovery of functional and approximate
+// dependencies using partitions", ICDE 1998) — the baseline the Dep-Miner
+// paper compares against (§5.1).
+//
+// TANE searches the attribute-set lattice levelwise, starting from small
+// left-hand sides. For each set X of the current level it maintains the
+// stripped partition π̂_X (computed by partition products along the
+// lattice) and the RHS-candidate set C⁺(X); a dependency X\{A} → A is
+// emitted when valid and minimal, keys prune their supersets, and sets
+// with empty candidate sets are dropped. The validity test compares full
+// partition class counts: X → A holds iff |π_X| = |π_{X∪A}|.
+//
+// Like the paper's authors ("we have implemented our version of Tane"),
+// this is a from-scratch reimplementation: the original binary is limited
+// to 32 attributes and another platform.
+//
+// The package also provides TANE's approximate-dependency mode: X → A is
+// approximately valid when its g₃ error (minimum fraction of tuples to
+// remove for the FD to hold) is at most a threshold ε.
+package tane
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/attrset"
+	"repro/internal/fd"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Options configure a TANE run.
+type Options struct {
+	// Epsilon is the approximate-dependency threshold ε ∈ [0, 1). Zero
+	// discovers exact dependencies (classic mode). With ε > 0, an FD
+	// X → A is emitted when g₃(X → A) ≤ ε and no subset-LHS dependency
+	// X'⊂X already satisfies it.
+	Epsilon float64
+	// MaxLHS bounds the size of left-hand sides explored (0 = no bound).
+	// Levels beyond the bound are not generated.
+	MaxLHS int
+}
+
+// Result is the outcome of a TANE run.
+type Result struct {
+	// FDs is the discovered cover of minimal (approximately) valid,
+	// non-trivial dependencies, in deterministic order. An empty-LHS FD
+	// ∅ → A denotes a constant column.
+	FDs fd.Cover
+	// LatticeNodes counts the attribute sets materialised across all
+	// levels (search-space size).
+	LatticeNodes int
+	// Levels is the number of lattice levels processed.
+	Levels int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// node is the per-attribute-set lattice state.
+type node struct {
+	part  *partition.Partition
+	cplus attrset.Set
+}
+
+// Run executes TANE on the relation.
+func Run(ctx context.Context, r *relation.Relation, opts Options) (*Result, error) {
+	start := time.Now()
+	n := r.Arity()
+	res := &Result{}
+	if n == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	if opts.Epsilon < 0 || opts.Epsilon >= 1 {
+		return nil, fmt.Errorf("tane: epsilon %v out of [0,1)", opts.Epsilon)
+	}
+
+	universe := attrset.Universe(n)
+	prober := partition.NewProber(r.Rows())
+	approx := newApproxChecker(r, opts.Epsilon)
+
+	// store retains C⁺ of every set ever computed, across levels and
+	// past pruning: the key-pruning minimality guard consults C⁺ of sets
+	// that may have been deleted — or never generated, in which case the
+	// defining recurrence C⁺(Y) = ∩_{B∈Y} C⁺(Y\{B}) is evaluated on
+	// demand (see cplusOf).
+	store := &cplusStore{universe: universe, m: map[attrset.Set]attrset.Set{
+		attrset.Empty(): universe, // C⁺(∅) = R
+	}}
+
+	// π_∅ has a single class (all tuples); its full class count is 1.
+	emptyPart := partition.Of(r, attrset.Empty())
+	prev := map[attrset.Set]*node{attrset.Empty(): {part: emptyPart, cplus: universe}}
+
+	// Level 1.
+	level := make(map[attrset.Set]*node, n)
+	for a := 0; a < n; a++ {
+		level[attrset.Single(a)] = &node{part: partition.Single(r, a)}
+	}
+
+	for len(level) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("tane: cancelled at level %d: %w", res.Levels+1, err)
+		}
+		res.Levels++
+		res.LatticeNodes += len(level)
+
+		computeDependencies(r, prev, level, approx, res)
+		for x, nd := range level {
+			store.m[x] = nd.cplus
+		}
+		prune(level, store, approx, res)
+
+		if opts.MaxLHS > 0 && res.Levels > opts.MaxLHS {
+			break
+		}
+		next := generateNextLevel(level, prober)
+		prev = level
+		level = next
+	}
+
+	if opts.MaxLHS > 0 {
+		kept := res.FDs[:0]
+		for _, f := range res.FDs {
+			if f.LHS.Len() <= opts.MaxLHS {
+				kept = append(kept, f)
+			}
+		}
+		res.FDs = kept
+	}
+	res.FDs.Sort()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// computeDependencies is TANE's COMPUTE_DEPENDENCIES: derive C⁺(X) from
+// the previous level, then test X\{A} → A for each candidate A ∈ X∩C⁺(X).
+func computeDependencies(r *relation.Relation, prev, level map[attrset.Set]*node, approx *approxChecker, res *Result) {
+	universe := attrset.Universe(r.Arity())
+	for x, nd := range level {
+		// C⁺(X) = ∩_{A∈X} C⁺(X \ {A}).
+		cplus := universe
+		x.ForEach(func(a attrset.Attr) {
+			sub, ok := prev[x.Without(a)]
+			if ok {
+				cplus = cplus.Intersect(sub.cplus)
+			} else {
+				// Subset pruned away ⇒ no candidates survive.
+				cplus = attrset.Set{}
+			}
+		})
+		nd.cplus = cplus
+	}
+	for x, nd := range level {
+		candidates := x.Intersect(nd.cplus)
+		candidates.ForEach(func(a attrset.Attr) {
+			lhs := x.Without(a)
+			sub, ok := prev[lhs]
+			if !ok {
+				return
+			}
+			if approx.valid(sub.part, nd.part) {
+				res.FDs = append(res.FDs, fd.FD{LHS: lhs, RHS: a})
+				// Remove A and all B ∈ R \ X from C⁺(X).
+				nd.cplus = nd.cplus.Intersect(x).Without(a)
+			}
+		})
+	}
+}
+
+// prune is TANE's PRUNE: drop sets with empty candidate sets, and apply
+// key pruning — a (super)key X yields its remaining dependencies X → A
+// directly and is removed from the level.
+//
+// It runs in two phases: decisions first against the intact level (the
+// key-pruning minimality guard consults C⁺ of same-level sets, which may
+// themselves be scheduled for deletion), then the deletions.
+func prune(level map[attrset.Set]*node, store *cplusStore, approx *approxChecker, res *Result) {
+	var doomed []attrset.Set
+	for x, nd := range level {
+		if nd.cplus.IsEmpty() {
+			doomed = append(doomed, x)
+			continue
+		}
+		if approx.isKey(nd.part) {
+			nd.cplus.Diff(x).ForEach(func(a attrset.Attr) {
+				// Minimality guard: A ∈ ∩_{B∈X} C⁺((X∪{A}) \ {B}). The
+				// intersected sets have |X| attributes; they live in the
+				// current level, were pruned at an earlier level, or
+				// were never generated — the store covers all three.
+				in := true
+				xa := x.With(a)
+				x.ForEach(func(b attrset.Attr) {
+					if !store.cplusOf(xa.Without(b)).Contains(a) {
+						in = false
+					}
+				})
+				if in {
+					res.FDs = append(res.FDs, fd.FD{LHS: x, RHS: a})
+				}
+			})
+			doomed = append(doomed, x)
+		}
+	}
+	for _, x := range doomed {
+		delete(level, x)
+	}
+}
+
+// cplusStore memoises C⁺ values of every attribute set encountered, and
+// evaluates the defining recurrence for sets the levelwise search never
+// materialised (their lattice lineage was pruned).
+type cplusStore struct {
+	universe attrset.Set
+	m        map[attrset.Set]attrset.Set
+}
+
+// cplusOf returns the stored C⁺(Y), computing and memoising
+// ∩_{B∈Y} C⁺(Y\{B}) when absent. The recursion bottoms out at C⁺(∅) = R,
+// which is seeded at construction.
+func (s *cplusStore) cplusOf(y attrset.Set) attrset.Set {
+	if c, ok := s.m[y]; ok {
+		return c
+	}
+	c := s.universe
+	y.ForEach(func(b attrset.Attr) {
+		c = c.Intersect(s.cplusOf(y.Without(b)))
+	})
+	s.m[y] = c
+	return c
+}
+
+// generateNextLevel is TANE's GENERATE_NEXT_LEVEL: prefix join of the
+// surviving sets plus the all-subsets-present prune, computing each new
+// partition as the product of the two joined parents.
+func generateNextLevel(level map[attrset.Set]*node, prober *partition.Prober) map[attrset.Set]*node {
+	if len(level) == 0 {
+		return nil
+	}
+	// Group by prefix (set minus its largest attribute).
+	type member struct {
+		last attrset.Attr
+		nd   *node
+	}
+	byPrefix := make(map[attrset.Set][]member)
+	for x, nd := range level {
+		last := x.Max()
+		byPrefix[x.Without(last)] = append(byPrefix[x.Without(last)], member{last, nd})
+	}
+	next := make(map[attrset.Set]*node)
+	for prefix, members := range byPrefix {
+		for i := 0; i < len(members); i++ {
+			for j := 0; j < len(members); j++ {
+				if members[i].last >= members[j].last {
+					continue
+				}
+				cand := prefix.With(members[i].last).With(members[j].last)
+				if _, dup := next[cand]; dup {
+					continue
+				}
+				// Prune: every |cand|-1 subset must be in the level.
+				ok := true
+				cand.ForEach(func(a attrset.Attr) {
+					if _, in := level[cand.Without(a)]; !in {
+						ok = false
+					}
+				})
+				if !ok {
+					continue
+				}
+				next[cand] = &node{
+					part: prober.Product(members[i].nd.part, members[j].nd.part),
+				}
+			}
+		}
+	}
+	return next
+}
+
+// approxChecker implements the validity and key tests, exact or with g₃
+// error threshold.
+type approxChecker struct {
+	r       *relation.Relation
+	epsilon float64
+	scratch []int // tuple → class id of the X∪A partition
+}
+
+func newApproxChecker(r *relation.Relation, epsilon float64) *approxChecker {
+	return &approxChecker{r: r, epsilon: epsilon, scratch: make([]int, r.Rows())}
+}
+
+// valid reports whether the dependency with stripped LHS partition lhsPart
+// and stripped LHS∪RHS partition xPart holds.
+//
+// Exact mode: the dependency holds iff the full partitions have the same
+// number of classes (refining cannot lose classes; equality means no class
+// of π_LHS splits on A).
+//
+// Approximate mode: g₃(LHS → A) = (Σ_{c∈π̂_LHS} (|c| − maxfreq(c))) / |r|,
+// where maxfreq(c) is the size of the largest sub-class of c in π_{LHS∪A};
+// the FD is valid when g₃ ≤ ε. (TANE §4.2, stripped-partition form.)
+func (ac *approxChecker) valid(lhsPart, xPart *partition.Partition) bool {
+	if ac.epsilon == 0 {
+		return lhsPart.FullClassCount() == xPart.FullClassCount()
+	}
+	return ac.g3(lhsPart, xPart) <= ac.epsilon
+}
+
+// g3 computes the g₃ error of the dependency whose LHS partition is
+// lhsPart and whose LHS∪RHS partition is xPart.
+func (ac *approxChecker) g3(lhsPart, xPart *partition.Partition) float64 {
+	if ac.r.Rows() == 0 {
+		return 0
+	}
+	// Map tuples to their class size in π̂_{X}; singletons count 1.
+	for i := range ac.scratch {
+		ac.scratch[i] = 1
+	}
+	for _, c := range xPart.Classes {
+		for _, t := range c {
+			ac.scratch[t] = len(c)
+		}
+	}
+	removed := 0
+	for _, c := range lhsPart.Classes {
+		maxFreq := 1
+		for _, t := range c {
+			if ac.scratch[t] > maxFreq {
+				maxFreq = ac.scratch[t]
+			}
+		}
+		removed += len(c) - maxFreq
+	}
+	return float64(removed) / float64(ac.r.Rows())
+}
+
+// isKey reports whether the partition's attribute set is a (super)key —
+// exactly for ε = 0, approximately (error ≤ ε) otherwise.
+func (ac *approxChecker) isKey(p *partition.Partition) bool {
+	if ac.epsilon == 0 {
+		return p.IsUnique()
+	}
+	return p.Error() <= ac.epsilon
+}

@@ -1,0 +1,306 @@
+package tane
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attrset"
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+func set(spec string) attrset.Set {
+	s, ok := attrset.Parse(spec)
+	if !ok {
+		panic("bad spec " + spec)
+	}
+	return s
+}
+
+func run(t *testing.T, r *relation.Relation, opts Options) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func coversIdentical(a, b fd.Cover) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TANE must find exactly the paper's 14 minimal FDs on the running
+// example.
+func TestPaperExample(t *testing.T) {
+	r := relation.PaperExample()
+	res := run(t, r, Options{})
+	want := fd.MineBrute(r)
+	if !coversIdentical(res.FDs, want) {
+		t.Errorf("TANE FDs =\n%s\nwant\n%s", res.FDs, want)
+	}
+	if res.Levels == 0 || res.LatticeNodes == 0 || res.Elapsed <= 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestConstantColumn(t *testing.T) {
+	r, err := relation.FromRows([]string{"a", "b"},
+		[][]string{{"1", "k"}, {"2", "k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, r, Options{})
+	want := fd.Cover{{LHS: attrset.Empty(), RHS: 1}}
+	if !coversIdentical(res.FDs, want) {
+		t.Errorf("FDs = %v, want ∅ → B", res.FDs)
+	}
+}
+
+func TestKeyColumn(t *testing.T) {
+	r, err := relation.FromRows([]string{"k", "v", "w"}, [][]string{
+		{"1", "x", "p"}, {"2", "x", "q"}, {"3", "y", "p"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, r, Options{})
+	want := fd.MineBrute(r)
+	if !coversIdentical(res.FDs, want) {
+		t.Errorf("FDs =\n%s\nwant\n%s", res.FDs, want)
+	}
+	// k → v and k → w must be there (k is a key).
+	found := 0
+	for _, f := range res.FDs {
+		if f.LHS == set("A") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("key column FDs found %d times, want 2", found)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Empty, single-row, zero-attribute relations.
+	r0, err := relation.FromRows(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, r0, Options{})
+	if len(res.FDs) != 0 {
+		t.Error("no FDs on empty schema")
+	}
+	r1, err := relation.FromRows([]string{"a", "b"}, [][]string{{"1", "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = run(t, r1, Options{})
+	want := fd.Cover{{LHS: attrset.Empty(), RHS: 0}, {LHS: attrset.Empty(), RHS: 1}}
+	if !coversIdentical(res.FDs, want) {
+		t.Errorf("single-tuple FDs = %v", res.FDs)
+	}
+}
+
+func TestEpsilonValidation(t *testing.T) {
+	r := relation.PaperExample()
+	if _, err := Run(context.Background(), r, Options{Epsilon: -0.1}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := Run(context.Background(), r, Options{Epsilon: 1.0}); err == nil {
+		t.Error("epsilon = 1 accepted")
+	}
+}
+
+func TestApproximateDependencies(t *testing.T) {
+	// 10 tuples; a → b holds except for one dirty tuple (g3 = 1/10).
+	rows := [][]string{
+		{"1", "x"}, {"1", "x"}, {"1", "x"}, {"1", "y"}, // dirty: a=1 maps to x and y
+		{"2", "z"}, {"2", "z"}, {"3", "w"}, {"3", "w"},
+		{"4", "u"}, {"5", "v"},
+	}
+	r, err := relation.FromRows([]string{"a", "b"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := run(t, r, Options{})
+	for _, f := range exact.FDs {
+		if f.LHS == set("A") && f.RHS == 1 {
+			t.Fatal("a → b should NOT hold exactly")
+		}
+	}
+	approx := run(t, r, Options{Epsilon: 0.15})
+	found := false
+	for _, f := range approx.FDs {
+		if f.LHS == set("A") && f.RHS == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("a → b should hold at ε=0.15; got %v", approx.FDs)
+	}
+	// At ε below the error it must still be rejected.
+	strict := run(t, r, Options{Epsilon: 0.05})
+	for _, f := range strict.FDs {
+		if f.LHS == set("A") && f.RHS == 1 {
+			t.Error("a → b should not hold at ε=0.05")
+		}
+	}
+}
+
+func TestApproximateSubsumesExact(t *testing.T) {
+	// Every exact FD remains (approximately) implied at any ε: each exact
+	// minimal FD either appears or has a subset LHS in the approximate
+	// cover.
+	r := relation.PaperExample()
+	exact := run(t, r, Options{})
+	approx := run(t, r, Options{Epsilon: 0.2})
+	for _, f := range exact.FDs {
+		ok := false
+		for _, g := range approx.FDs {
+			if g.RHS == f.RHS && g.LHS.SubsetOf(f.LHS) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("exact FD %s lost at ε=0.2 (approx cover: %v)", f, approx.FDs)
+		}
+	}
+}
+
+func TestMaxLHS(t *testing.T) {
+	r := relation.PaperExample()
+	res := run(t, r, Options{MaxLHS: 1})
+	for _, f := range res.FDs {
+		if f.LHS.Len() > 1 {
+			t.Errorf("FD %s exceeds MaxLHS=1", f)
+		}
+	}
+	// All size-1 minimal FDs of the paper must be present.
+	want := []fd.FD{
+		{LHS: set("D"), RHS: 1},
+		{LHS: set("B"), RHS: 3},
+		{LHS: set("B"), RHS: 4},
+		{LHS: set("C"), RHS: 4},
+		{LHS: set("D"), RHS: 4},
+	}
+	for _, w := range want {
+		found := false
+		for _, f := range res.FDs {
+			if f == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %s", w)
+		}
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, relation.PaperExample(), Options{}); err == nil {
+		t.Error("cancelled context should abort TANE")
+	}
+}
+
+// TestPropertyMatchesBruteForce cross-validates TANE against the
+// brute-force miner on random relations — the same oracle used for
+// Dep-Miner, proving both discover identical canonical covers.
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 80; iter++ {
+		n := 1 + rng.Intn(5)
+		rows := rng.Intn(18)
+		cols := make([][]int, n)
+		for a := range cols {
+			cols[a] = make([]int, rows)
+			dom := 1 + rng.Intn(6)
+			for i := range cols[a] {
+				cols[a][i] = rng.Intn(dom)
+			}
+		}
+		r, err := relation.FromCodes(make([]string, n), cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = r.Deduplicate()
+		want := fd.MineBrute(r)
+		res := run(t, r, Options{})
+		if !coversIdentical(res.FDs, want) {
+			t.Fatalf("iter %d:\n got %s\nwant %s\nrelation:\n%v", iter, res.FDs, want, r)
+		}
+	}
+}
+
+// TestPropertyApproximateG3Bound: every FD emitted at threshold ε really
+// has g3 error ≤ ε (checked by direct computation on the relation).
+func TestPropertyApproximateG3Bound(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 40; iter++ {
+		n := 2 + rng.Intn(3)
+		rows := 2 + rng.Intn(16)
+		cols := make([][]int, n)
+		for a := range cols {
+			cols[a] = make([]int, rows)
+			dom := 1 + rng.Intn(4)
+			for i := range cols[a] {
+				cols[a][i] = rng.Intn(dom)
+			}
+		}
+		r, err := relation.FromCodes(make([]string, n), cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := rng.Float64() * 0.5
+		res := run(t, r, Options{Epsilon: eps})
+		for _, f := range res.FDs {
+			if g := g3Direct(r, f); g > eps+1e-12 {
+				t.Fatalf("iter %d: %s has g3 %v > ε %v", iter, f, g, eps)
+			}
+		}
+	}
+}
+
+// g3Direct computes g3(X→A) from first principles: group by X, count the
+// tuples outside each group's majority A-value.
+func g3Direct(r *relation.Relation, f fd.FD) float64 {
+	if r.Rows() == 0 {
+		return 0
+	}
+	groups := make(map[string]map[int]int)
+	attrs := f.LHS.Attrs()
+	for t := 0; t < r.Rows(); t++ {
+		k := ""
+		for _, a := range attrs {
+			k += r.Value(t, a) + "\x00"
+		}
+		if groups[k] == nil {
+			groups[k] = make(map[int]int)
+		}
+		groups[k][r.Code(t, f.RHS)]++
+	}
+	removed := 0
+	for _, counts := range groups {
+		total, max := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		removed += total - max
+	}
+	return float64(removed) / float64(r.Rows())
+}
