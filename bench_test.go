@@ -420,3 +420,28 @@ func BenchmarkTANEApproximate(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDiscoverParallel measures the worker-pool execution layer:
+// the full pipeline (agree-set sweep + per-attribute transversal fan-out)
+// at increasing worker counts on one workload. Workers=1 is the
+// sequential reference path; speedups are relative to it and bounded by
+// GOMAXPROCS — on a single-core testbed all counts degenerate to ~1×
+// (see BENCH_PARALLEL.json for recorded numbers).
+func BenchmarkDiscoverParallel(b *testing.B) {
+	r := dataset(b, 20, 5000, 0.3)
+	for _, algo := range []core.AgreeAlgorithm{core.AgreeCouples, core.AgreeIdentifiers} {
+		algo := algo
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/workers=%d", algo, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Discover(context.Background(), r, core.Options{
+						Algorithm: algo, Armstrong: core.ArmstrongNone, Workers: workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

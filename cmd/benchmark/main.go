@@ -30,17 +30,18 @@ func main() {
 		full       = flag.Bool("full", false, "run the paper-scale grid (100k tuples × 60 attrs) instead of the quick grid")
 		timeout    = flag.Duration("timeout", 2*time.Hour, "per-algorithm-run cutoff producing '*' cells, as in the paper")
 		seed       = flag.Uint64("seed", 1, "dataset seed")
+		workers    = flag.Int("workers", 0, "worker-pool width for the Dep-Miner runs: 0 = all cores, 1 = sequential (results identical, only times change)")
 		csvOut     = flag.String("csv", "", "also append raw cell measurements as CSV to this file")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
 	)
 	flag.Parse()
-	if err := run(*experiment, *full, *timeout, *seed, *csvOut, *quiet); err != nil {
+	if err := run(*experiment, *full, *timeout, *seed, *workers, *csvOut, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id string, full bool, timeout time.Duration, seed uint64, csvOut string, quiet bool) error {
+func run(id string, full bool, timeout time.Duration, seed uint64, workers int, csvOut string, quiet bool) error {
 	if id == "list" {
 		for _, e := range bench.Experiments {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
@@ -80,6 +81,7 @@ func run(id string, full bool, timeout time.Duration, seed uint64, csvOut string
 
 	for _, e := range selected {
 		cfg := bench.ConfigFor(e, full, timeout, seed)
+		cfg.Workers = workers
 		if !quiet {
 			cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
 		}
@@ -92,6 +94,7 @@ func run(id string, full bool, timeout time.Duration, seed uint64, csvOut string
 		} else if !ok {
 			// Run the widest grid (table layout) so figures can reuse it.
 			tableCfg := bench.ConfigFor(bench.Experiment{Correlation: e.Correlation, Kind: "table"}, full, timeout, seed)
+			tableCfg.Workers = workers
 			tableCfg.Progress = cfg.Progress
 			fmt.Fprintf(os.Stderr, "running grid c=%.0f%% (%d×%d cells)...\n",
 				e.Correlation*100, len(tableCfg.RowCounts), len(tableCfg.AttrCounts))

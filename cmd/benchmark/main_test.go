@@ -31,7 +31,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunList(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("list", false, time.Minute, 1, "", true)
+		return run("list", false, time.Minute, 1, 0, "", true)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +45,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run("tableX", false, time.Minute, 1, "", true)
+		return run("tableX", false, time.Minute, 1, 0, "", true)
 	}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
@@ -82,7 +82,7 @@ func TestRunTinyExperimentEndToEnd(t *testing.T) {
 	}
 	csvPath := filepath.Join(t.TempDir(), "cells.csv")
 	out, err := capture(t, func() error {
-		return run("table3", false, 30*time.Second, 1, csvPath, true)
+		return run("table3", false, 30*time.Second, 1, 0, csvPath, true)
 	})
 	if err != nil {
 		t.Fatal(err)

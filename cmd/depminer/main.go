@@ -26,6 +26,7 @@ func main() {
 		armstrong = flag.String("armstrong", "auto", "armstrong relation: auto (real-world with synthetic fallback), real, synthetic, none")
 		stream    = flag.Bool("stream", false, "one-pass bounded-memory mode: build stripped partitions while reading; no Armstrong relation")
 		timeout   = flag.Duration("timeout", 2*time.Hour, "abort discovery after this long (the paper's cutoff)")
+		workers   = flag.Int("workers", 0, "worker-pool width for the parallel pipeline phases: 0 = all cores, 1 = sequential (output is identical for every value)")
 		stats     = flag.Bool("stats", false, "print per-phase timings and counters")
 		keysFlag  = flag.Bool("keys", false, "also print the relation's minimal candidate keys")
 		names     = flag.Bool("names", true, "print FDs with attribute names (false: letter notation)")
@@ -33,9 +34,9 @@ func main() {
 	flag.Parse()
 	var err error
 	if *stream {
-		err = runStreamed(*noHeader, *algo, *timeout, *names, flag.Args())
+		err = runStreamed(*noHeader, *algo, *timeout, *workers, *names, flag.Args())
 	} else {
-		err = run(*noHeader, *algo, *armstrong, *timeout, *stats, *keysFlag, *names, flag.Args())
+		err = run(*noHeader, *algo, *armstrong, *timeout, *workers, *stats, *keysFlag, *names, flag.Args())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "depminer:", err)
@@ -44,7 +45,7 @@ func main() {
 }
 
 // runStreamed is the bounded-memory path: CSV → stripped partitions → FDs.
-func runStreamed(noHeader bool, algoName string, timeout time.Duration, useNames bool, args []string) error {
+func runStreamed(noHeader bool, algoName string, timeout time.Duration, workers int, useNames bool, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("-stream requires exactly one input file")
 	}
@@ -57,7 +58,7 @@ func runStreamed(noHeader bool, algoName string, timeout time.Duration, useNames
 	if err != nil {
 		return err
 	}
-	var opts depminer.Options
+	opts := depminer.Options{Workers: workers}
 	switch algoName {
 	case "depminer":
 		opts.Algorithm = depminer.DepMiner
@@ -84,7 +85,7 @@ func runStreamed(noHeader bool, algoName string, timeout time.Duration, useNames
 	return nil
 }
 
-func run(noHeader bool, algoName, armName string, timeout time.Duration, stats, showKeys, useNames bool, args []string) error {
+func run(noHeader bool, algoName, armName string, timeout time.Duration, workers int, stats, showKeys, useNames bool, args []string) error {
 	var r *depminer.Relation
 	var err error
 	switch len(args) {
@@ -122,7 +123,7 @@ func run(noHeader bool, algoName, armName string, timeout time.Duration, stats, 
 		return nil
 	}
 
-	var opts depminer.Options
+	opts := depminer.Options{Workers: workers}
 	switch algoName {
 	case "depminer":
 		opts.Algorithm = depminer.DepMiner

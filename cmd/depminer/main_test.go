@@ -42,7 +42,7 @@ func paperCSV(t *testing.T) string {
 
 func TestRunPaperExample(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(false, "depminer", "auto", time.Minute, true, true, true, nil)
+		return run(false, "depminer", "auto", time.Minute, 0, true, true, true, nil)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +64,7 @@ func TestRunCSVFile(t *testing.T) {
 	csv := paperCSV(t)
 	for _, algo := range []string{"depminer", "depminer2", "naive", "fastfds"} {
 		out, err := capture(t, func() error {
-			return run(false, algo, "none", time.Minute, false, false, false, []string{csv})
+			return run(false, algo, "none", time.Minute, 0, false, false, false, []string{csv})
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
@@ -77,22 +77,22 @@ func TestRunCSVFile(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run(false, "bogus", "auto", time.Minute, false, false, true, nil)
+		return run(false, "bogus", "auto", time.Minute, 0, false, false, true, nil)
 	}); err == nil {
 		t.Error("unknown algo accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(false, "depminer", "bogus", time.Minute, false, false, true, nil)
+		return run(false, "depminer", "bogus", time.Minute, 0, false, false, true, nil)
 	}); err == nil {
 		t.Error("unknown armstrong mode accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(false, "depminer", "auto", time.Minute, false, false, true, []string{"a", "b"})
+		return run(false, "depminer", "auto", time.Minute, 0, false, false, true, []string{"a", "b"})
 	}); err == nil {
 		t.Error("two files accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(false, "depminer", "auto", time.Minute, false, false, true, []string{"/nonexistent.csv"})
+		return run(false, "depminer", "auto", time.Minute, 0, false, false, true, []string{"/nonexistent.csv"})
 	}); err == nil {
 		t.Error("missing file accepted")
 	}
@@ -101,7 +101,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunStreamed(t *testing.T) {
 	csv := paperCSV(t)
 	out, err := capture(t, func() error {
-		return runStreamed(false, "depminer2", time.Minute, true, []string{csv})
+		return runStreamed(false, "depminer2", time.Minute, 0, true, []string{csv})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -110,12 +110,12 @@ func TestRunStreamed(t *testing.T) {
 		t.Errorf("streamed output wrong:\n%s", out)
 	}
 	if _, err := capture(t, func() error {
-		return runStreamed(false, "fastfds", time.Minute, true, []string{csv})
+		return runStreamed(false, "fastfds", time.Minute, 0, true, []string{csv})
 	}); err == nil {
 		t.Error("-stream with fastfds accepted")
 	}
 	if _, err := capture(t, func() error {
-		return runStreamed(false, "depminer", time.Minute, true, nil)
+		return runStreamed(false, "depminer", time.Minute, 0, true, nil)
 	}); err == nil {
 		t.Error("-stream without file accepted")
 	}

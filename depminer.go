@@ -119,8 +119,10 @@ const (
 )
 
 // Options configure Discover. The zero value runs the paper's Dep-Miner
-// configuration and builds a real-world Armstrong relation with synthetic
-// fallback.
+// configuration on all cores and builds a real-world Armstrong relation
+// with synthetic fallback. Options.Workers caps the worker pool (1 runs
+// the sequential reference path); the Result is byte-identical for every
+// worker count.
 type Options = core.Options
 
 // Result is the outcome of a discovery run: the canonical FD cover, the

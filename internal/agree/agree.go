@@ -7,6 +7,7 @@
 //
 //   - Naive: direct O(n·p²) pairwise scan of the relation — the baseline
 //     the paper's introduction rules out for large relations.
+//     (It remains strictly sequential: the reference implementation.)
 //   - Couples (Algorithm 2 / "Dep-Miner"): generate the tuple couples of
 //     the maximal equivalence classes MC (Lemma 1), then sweep the
 //     stripped partitions once, adding attribute A to ag(t,t') whenever
@@ -21,6 +22,16 @@
 // All three return the deduplicated set family ag(r); the empty agree set
 // is included when some couple of tuples disagrees everywhere, matching
 // the paper's running example where ag(r) = {∅, A, BDE, CE, E}.
+//
+// The paper defines a relation as a *set* of tuples, so all three
+// algorithms apply set semantics to duplicate rows: a couple of identical
+// tuples (which would agree on the full schema R) contributes nothing to
+// ag(r), exactly as if the relation had been deduplicated first.
+//
+// Couples and Identifiers parallelise across Options.Workers goroutines
+// by partitioning the couple list; every worker accumulates into a
+// private set map and the merged family is emitted in canonical order, so
+// results are byte-identical for any worker count.
 package agree
 
 import (
@@ -30,6 +41,7 @@ import (
 
 	"repro/internal/attrset"
 	"repro/internal/partition"
+	"repro/internal/pool"
 	"repro/internal/relation"
 )
 
@@ -41,9 +53,9 @@ const DefaultChunkSize = 1 << 20
 // Result is the outcome of an agree-set computation.
 type Result struct {
 	// Sets is ag(r) deduplicated, in canonical order. It never contains
-	// the full schema R (two distinct tuples of a duplicate-free relation
-	// cannot agree everywhere; duplicates are collapsed by stripped
-	// partitions of the couple generators — see Naive for the exception).
+	// the full schema R: two distinct tuples cannot agree everywhere, and
+	// couples of duplicate rows are collapsed by all three algorithms
+	// (set semantics — the paper defines a relation as a set of tuples).
 	Sets attrset.Family
 	// Couples is the number of tuple couples examined.
 	Couples int
@@ -53,20 +65,23 @@ type Result struct {
 }
 
 // Naive computes ag(r) by comparing every couple of distinct tuples
-// directly on the relation: the O(n·p²) baseline. If the relation contains
-// duplicate tuples, the full schema R appears as an agree set; callers that
-// need set semantics should Deduplicate first (discovery treats R as a
-// trivial agree set and CMAX_SET ignores it).
+// directly on the relation: the O(n·p²) baseline. Couples of duplicate
+// tuples (agree set = full schema R) are skipped, so duplicate rows yield
+// the same ag(r) as the deduplicated relation — matching the partition
+// algorithms, which apply the same set semantics.
 func Naive(ctx context.Context, r *relation.Relation) (*Result, error) {
 	seen := make(map[attrset.Set]struct{})
 	res := &Result{Chunks: 1}
+	full := attrset.Universe(r.Arity())
 	for i := 0; i < r.Rows(); i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("agree: naive scan cancelled: %w", err)
 		}
 		for j := i + 1; j < r.Rows(); j++ {
 			res.Couples++
-			seen[r.AgreeSet(i, j)] = struct{}{}
+			if s := r.AgreeSet(i, j); s != full {
+				seen[s] = struct{}{}
+			}
 		}
 	}
 	res.Sets = familyOf(seen)
@@ -78,6 +93,10 @@ type Options struct {
 	// ChunkSize bounds the couples held in memory at once by Couples.
 	// Zero means DefaultChunkSize.
 	ChunkSize int
+	// Workers is the worker-pool width for the couple sweep: 0 means
+	// runtime.GOMAXPROCS(0), 1 the sequential reference path. Results are
+	// byte-identical for every value.
+	Workers int
 }
 
 func (o Options) chunkSize() int {
@@ -122,28 +141,42 @@ func generateCouples(mc [][]int) []couple {
 }
 
 // Couples computes ag(r) with Algorithm 2 (AGREE_SET): couples from MC,
-// swept against every stripped partition, chunked to bound memory.
+// swept against every stripped partition, chunked to bound memory. Chunks
+// are independent (each sweeps the partitions for its own couples only),
+// so they are distributed over Options.Workers goroutines; per-worker set
+// maps are merged and emitted in canonical order, making the result
+// independent of worker count and scheduling.
 func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result, error) {
 	mc := db.MaximalClasses()
 	couples := generateCouples(mc)
 	res := &Result{Couples: len(couples)}
-	seen := make(map[attrset.Set]struct{})
 
 	chunk := opts.chunkSize()
-	for start := 0; start < len(couples); start += chunk {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("agree: couples scan cancelled: %w", err)
-		}
+	nChunks := (len(couples) + chunk - 1) / chunk
+	res.Chunks = nChunks
+	if nChunks == 0 {
+		res.Chunks = 1
+	}
+
+	workers := pool.Resolve(opts.Workers)
+	locals := make([]map[attrset.Set]struct{}, workers)
+	for w := range locals {
+		locals[w] = make(map[attrset.Set]struct{})
+	}
+	full := attrset.Universe(db.Arity())
+	err := pool.Run(ctx, workers, nChunks, func(_ context.Context, w, t int) error {
+		start := t * chunk
 		end := start + chunk
 		if end > len(couples) {
 			end = len(couples)
 		}
-		res.Chunks++
-		processChunk(db, couples[start:end], seen)
+		processChunk(db, couples[start:end], full, locals[w])
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("agree: couples scan cancelled: %w", err)
 	}
-	if len(couples) == 0 {
-		res.Chunks = 1
-	}
+	seen := mergeLocals(locals)
 	addEmptyIfUncovered(db, len(couples), seen)
 	res.Sets = familyOf(seen)
 	return res, nil
@@ -165,13 +198,16 @@ func addEmptyIfUncovered(db *partition.Database, covered int, seen map[attrset.S
 
 // processChunk runs lines 10–21 of Algorithm 2 for one chunk of couples:
 // for each stripped partition and each of its classes, add the attribute
-// to the agree set of every chunk couple lying inside the class.
+// to the agree set of every chunk couple lying inside the class. Agree
+// sets equal to full (the whole schema, i.e. duplicate-tuple couples) are
+// dropped: set semantics. It reads db and writes only chunk-local state
+// plus seen, so concurrent calls are safe on disjoint seen maps.
 //
 // To keep the per-class couple lookup sub-quadratic, couples are indexed by
 // their first tuple: for a class c and each t ∈ c, only couples starting at
 // t are probed, and membership of the partner is tested with a per-class
 // mark table — an indexing refinement of the paper's "if t ∈ c and t' ∈ c".
-func processChunk(db *partition.Database, chunk []couple, seen map[attrset.Set]struct{}) {
+func processChunk(db *partition.Database, chunk []couple, full attrset.Set, seen map[attrset.Set]struct{}) {
 	// ag state for the chunk.
 	ag := make([]attrset.Set, len(chunk))
 	// Index couples by first tuple: byFirst[t] slices into couple
@@ -203,14 +239,37 @@ func processChunk(db *partition.Database, chunk []couple, seen map[attrset.Set]s
 		}
 	}
 	for i := range ag {
-		seen[ag[i]] = struct{}{}
+		if ag[i] != full {
+			seen[ag[i]] = struct{}{}
+		}
 	}
 }
+
+// mergeLocals folds per-worker set maps into the first one. Map union is
+// order-insensitive, so the merged contents do not depend on how couples
+// were distributed across workers.
+func mergeLocals(locals []map[attrset.Set]struct{}) map[attrset.Set]struct{} {
+	seen := locals[0]
+	for _, l := range locals[1:] {
+		for s := range l {
+			seen[s] = struct{}{}
+		}
+	}
+	return seen
+}
+
+// identifierStride is the number of couples one parallel Identifiers task
+// intersects: large enough to amortise dispatch, small enough to balance
+// load and keep cancellation latency low.
+const identifierStride = 1 << 13
 
 // Identifiers computes ag(r) with Algorithm 3 (AGREE_SET 2): per-tuple
 // equivalence-class identifier lists, intersected per MC couple (Lemma 2).
 // It is the "Dep-Miner 2" variant of the evaluation, more efficient when
-// equivalence classes are large or numerous.
+// equivalence classes are large or numerous. The couple list is split
+// into fixed strides distributed over Options.Workers goroutines, with
+// per-worker set maps merged in canonical order (deterministic output for
+// any worker count).
 func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Result, error) {
 	// ecAttr[t] lists, in increasing attribute order, the attributes A for
 	// which t lies in some class of π̂_A, and ecID[t] the class index
@@ -230,33 +289,55 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 	mc := db.MaximalClasses()
 	couples := generateCouples(mc)
 	res := &Result{Chunks: 1, Couples: len(couples)}
-	seen := make(map[attrset.Set]struct{})
-	for i, cp := range couples {
-		if i&0xFFF == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("agree: identifier scan cancelled: %w", err)
-			}
-		}
-		var s attrset.Set
-		at, it := ecAttr[cp.t], ecID[cp.t]
-		au, iu := ecAttr[cp.u], ecID[cp.u]
-		x, y := 0, 0
-		for x < len(at) && y < len(au) {
-			switch {
-			case at[x] < au[y]:
-				x++
-			case at[x] > au[y]:
-				y++
-			default:
-				if it[x] == iu[y] {
-					s.Add(int(at[x]))
-				}
-				x++
-				y++
-			}
-		}
-		seen[s] = struct{}{}
+
+	workers := pool.Resolve(opts.Workers)
+	locals := make([]map[attrset.Set]struct{}, workers)
+	for w := range locals {
+		locals[w] = make(map[attrset.Set]struct{})
 	}
+	full := attrset.Universe(db.Arity())
+	tasks := (len(couples) + identifierStride - 1) / identifierStride
+	err := pool.Run(ctx, workers, tasks, func(taskCtx context.Context, w, t int) error {
+		start := t * identifierStride
+		end := start + identifierStride
+		if end > len(couples) {
+			end = len(couples)
+		}
+		seen := locals[w]
+		for i, cp := range couples[start:end] {
+			if i&0xFFF == 0 {
+				if err := taskCtx.Err(); err != nil {
+					return err
+				}
+			}
+			var s attrset.Set
+			at, it := ecAttr[cp.t], ecID[cp.t]
+			au, iu := ecAttr[cp.u], ecID[cp.u]
+			x, y := 0, 0
+			for x < len(at) && y < len(au) {
+				switch {
+				case at[x] < au[y]:
+					x++
+				case at[x] > au[y]:
+					y++
+				default:
+					if it[x] == iu[y] {
+						s.Add(int(at[x]))
+					}
+					x++
+					y++
+				}
+			}
+			if s != full {
+				seen[s] = struct{}{}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("agree: identifier scan cancelled: %w", err)
+	}
+	seen := mergeLocals(locals)
 	addEmptyIfUncovered(db, len(couples), seen)
 	res.Sets = familyOf(seen)
 	return res, nil

@@ -130,16 +130,52 @@ func TestDegenerateRelations(t *testing.T) {
 	}
 }
 
-func TestDuplicateTuplesYieldFullSchema(t *testing.T) {
+// TestDuplicateTuplesCollapse pins the set semantics of duplicate rows
+// (the paper defines a relation as a *set* of tuples): a couple of
+// identical tuples never contributes the full schema R to ag(r), in any
+// of the three algorithms.
+func TestDuplicateTuplesCollapse(t *testing.T) {
 	r, err := relation.FromRows([]string{"a", "b"}, [][]string{{"1", "x"}, {"1", "x"}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	db := partition.NewDatabase(r)
-	want := attrset.Family{attrset.Universe(2)}
 	for name, res := range runAll(t, r, db) {
-		if !res.Sets.Equal(want) {
-			t.Errorf("%s: ag = %v, want {AB}", name, res.Sets.Strings())
+		if len(res.Sets) != 0 {
+			t.Errorf("%s: ag = %v, want empty (duplicates collapse)", name, res.Sets.Strings())
+		}
+	}
+}
+
+// TestDuplicateRowsMatchDeduplicated is the regression test for duplicate
+// handling: on a relation with duplicate rows, all three algorithms must
+// produce exactly the ag(r) of the deduplicated relation.
+func TestDuplicateRowsMatchDeduplicated(t *testing.T) {
+	rows := [][]string{
+		{"1", "x", "p"},
+		{"1", "x", "p"}, // duplicate of tuple 0
+		{"1", "y", "q"},
+		{"2", "y", "q"},
+		{"2", "y", "q"}, // duplicate of tuple 3
+		{"3", "z", "p"},
+	}
+	r, err := relation.FromRows([]string{"a", "b", "c"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup := r.Deduplicate()
+	want, err := Naive(context.Background(), dedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full := attrset.Universe(3); want.Sets.Contains(full) {
+		t.Fatalf("dedup baseline still contains the full schema: %v", want.Sets.Strings())
+	}
+	db := partition.NewDatabase(r)
+	for name, res := range runAll(t, r, db) {
+		if !res.Sets.Equal(want.Sets) {
+			t.Errorf("%s on duplicates: ag = %v, want %v (ag of deduplicated relation)",
+				name, res.Sets.Strings(), want.Sets.Strings())
 		}
 	}
 }

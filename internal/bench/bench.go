@@ -43,6 +43,10 @@ type Config struct {
 	// Timeout bounds each algorithm run, reproducing the paper's
 	// two-hour cutoff (the '*' cells). Zero means no bound.
 	Timeout time.Duration
+	// Workers is the worker-pool width for the Dep-Miner runs (0 = all
+	// cores, 1 = sequential). Results are identical for every value;
+	// only the times change. TANE is single-threaded and unaffected.
+	Workers int
 	// Seed feeds the deterministic generator.
 	Seed uint64
 	// Progress, when non-nil, receives one line per completed cell.
@@ -143,6 +147,7 @@ func RunCell(ctx context.Context, cfg Config, rows, attrs int) (*Cell, error) {
 		res, err := core.Discover(runCtx, r, core.Options{
 			Algorithm: core.AgreeCouples,
 			Armstrong: core.ArmstrongNone,
+			Workers:   cfg.Workers,
 		})
 		if err != nil {
 			return 0, -1, err
@@ -153,6 +158,7 @@ func RunCell(ctx context.Context, cfg Config, rows, attrs int) (*Cell, error) {
 		res, err := core.Discover(runCtx, r, core.Options{
 			Algorithm: core.AgreeIdentifiers,
 			Armstrong: core.ArmstrongNone,
+			Workers:   cfg.Workers,
 		})
 		if err != nil {
 			return 0, -1, err

@@ -80,8 +80,8 @@ const (
 )
 
 // Options configure a discovery run. The zero value runs Algorithm 2 with
-// the default chunk size and builds a real-world Armstrong relation with
-// synthetic fallback.
+// the default chunk size, all cores, and builds a real-world Armstrong
+// relation with synthetic fallback.
 type Options struct {
 	// Algorithm selects the agree-set computation.
 	Algorithm AgreeAlgorithm
@@ -90,6 +90,13 @@ type Options struct {
 	ChunkSize int
 	// Armstrong selects step 5's behaviour.
 	Armstrong ArmstrongMode
+	// Workers is the worker-pool width of the parallel pipeline phases
+	// (the agree-set couple sweep of step 1 and the per-attribute
+	// transversal searches of steps 3–4): 0 means runtime.GOMAXPROCS(0),
+	// 1 the sequential reference path. Output is byte-identical for
+	// every value — parallelism only changes scheduling, never results.
+	// The naive agree-set baseline ignores it and stays sequential.
+	Workers int
 }
 
 // Timings records wall-clock duration per pipeline step.
@@ -158,7 +165,7 @@ func Discover(ctx context.Context, r *relation.Relation, opts Options) (*Result,
 	}
 
 	// Steps 2–4.
-	if err := deriveFDs(ctx, agr, r.Arity(), res); err != nil {
+	if err := deriveFDs(ctx, agr, r.Arity(), opts.Workers, res); err != nil {
 		return nil, err
 	}
 
@@ -186,7 +193,7 @@ func DiscoverFromDatabase(ctx context.Context, db *partition.Database, opts Opti
 		return nil, err
 	}
 	res.Timings.AgreeSets = time.Since(t0)
-	if err := deriveFDs(ctx, agr, db.Arity(), res); err != nil {
+	if err := deriveFDs(ctx, agr, db.Arity(), opts.Workers, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -194,10 +201,12 @@ func DiscoverFromDatabase(ctx context.Context, db *partition.Database, opts Opti
 
 // DeriveFromAgreeSets runs steps 2–4 of the pipeline on externally
 // computed agree sets — used by the incremental miner, which maintains
-// ag(r) under inserts and re-derives the cover on demand.
+// ag(r) under inserts and re-derives the cover on demand. It runs the
+// sequential reference path: the cost is independent of |r| and too
+// small to benefit from fan-out.
 func DeriveFromAgreeSets(ctx context.Context, sets attrset.Family, arity int) (*Result, error) {
 	res := &Result{}
-	if err := deriveFDs(ctx, &agree.Result{Sets: sets, Chunks: 1}, arity, res); err != nil {
+	if err := deriveFDs(ctx, &agree.Result{Sets: sets, Chunks: 1}, arity, 1, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -206,9 +215,9 @@ func DeriveFromAgreeSets(ctx context.Context, sets attrset.Family, arity int) (*
 func agreeSets(ctx context.Context, db *partition.Database, opts Options) (*agree.Result, error) {
 	switch opts.Algorithm {
 	case AgreeCouples:
-		return agree.Couples(ctx, db, agree.Options{ChunkSize: opts.ChunkSize})
+		return agree.Couples(ctx, db, agree.Options{ChunkSize: opts.ChunkSize, Workers: opts.Workers})
 	case AgreeIdentifiers:
-		return agree.Identifiers(ctx, db, agree.Options{ChunkSize: opts.ChunkSize})
+		return agree.Identifiers(ctx, db, agree.Options{ChunkSize: opts.ChunkSize, Workers: opts.Workers})
 	case AgreeNaive:
 		return nil, fmt.Errorf("core: the naive agree-set scan needs the relation; use Discover")
 	default:
@@ -217,7 +226,7 @@ func agreeSets(ctx context.Context, db *partition.Database, opts Options) (*agre
 }
 
 // deriveFDs runs steps 2–4 from the agree sets into res.
-func deriveFDs(ctx context.Context, agr *agree.Result, arity int, res *Result) error {
+func deriveFDs(ctx context.Context, agr *agree.Result, arity, workers int, res *Result) error {
 	res.AgreeSets = agr.Sets
 	res.Couples = agr.Couples
 	res.Chunks = agr.Chunks
@@ -228,18 +237,23 @@ func deriveFDs(ctx context.Context, agr *agree.Result, arity int, res *Result) e
 	res.MaxSets = ms.AllMax()
 	res.Timings.MaxSets = time.Since(t0)
 
-	// Steps 3–4: LEFT_HAND_SIDE then FD_OUTPUT (Algorithm 6: emit X → A
-	// for every X ∈ lhs(dep(r),A) except the trivial X = {A}).
+	// Steps 3–4: LEFT_HAND_SIDE then FD_OUTPUT. The per-attribute searches
+	// Tr(cmax(dep(r),A)) are independent, so they fan out one task per RHS
+	// attribute (paper Fig. 1 step 4); FDs are then emitted from the
+	// index-ordered results, keeping the output canonical regardless of
+	// which worker finished first.
 	t0 = time.Now()
-	res.LHS = make([]attrset.Family, arity)
+	hs := make([]*hypergraph.Hypergraph, arity)
 	for a := 0; a < arity; a++ {
-		h := hypergraph.Simplify(ms.CMax[a])
-		lhs, err := h.MinimalTransversals(ctx)
-		if err != nil {
-			return err
-		}
-		res.LHS[a] = lhs
-		for _, x := range lhs {
+		hs[a] = hypergraph.Simplify(ms.CMax[a])
+	}
+	lhs, err := hypergraph.TransversalsAll(ctx, hs, workers)
+	if err != nil {
+		return err
+	}
+	res.LHS = lhs
+	for a := 0; a < arity; a++ {
+		for _, x := range lhs[a] {
 			if x == attrset.Single(a) {
 				continue
 			}

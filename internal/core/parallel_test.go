@@ -1,0 +1,64 @@
+package core
+
+// Pipeline-level determinism test for the parallel execution layer: a
+// Result produced with Workers=N must be identical — FD cover, agree
+// sets, maximal sets, per-attribute LHS families and counters — to the
+// sequential reference (Workers=1).
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// resultFingerprint renders every deterministic field of a Result (all
+// but the timings) so two runs can be compared byte-for-byte.
+func resultFingerprint(res *Result) string {
+	return fmt.Sprintf("fds=%v ag=%v max=%v lhs=%v couples=%d chunks=%d",
+		res.FDs, res.AgreeSets, res.MaxSets, res.LHS, res.Couples, res.Chunks)
+}
+
+func TestParallelDiscoverMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 25; iter++ {
+		n := 2 + rng.Intn(5)
+		rows := rng.Intn(40)
+		cols := make([][]int, n)
+		for a := range cols {
+			cols[a] = make([]int, rows)
+			dom := 1 + rng.Intn(4)
+			for i := range cols[a] {
+				cols[a][i] = rng.Intn(dom)
+			}
+		}
+		r, err := relation.FromCodes(make([]string, n), cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []AgreeAlgorithm{AgreeCouples, AgreeIdentifiers} {
+			chunk := 1 + rng.Intn(32)
+			seq, err := Discover(context.Background(), r, Options{
+				Algorithm: algo, ChunkSize: chunk, Armstrong: ArmstrongNone, Workers: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := resultFingerprint(seq)
+			for _, workers := range []int{0, 2, 7} {
+				par, err := Discover(context.Background(), r, Options{
+					Algorithm: algo, ChunkSize: chunk, Armstrong: ArmstrongNone, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := resultFingerprint(par); got != want {
+					t.Fatalf("iter %d algo %v workers=%d:\n got %s\nwant %s",
+						iter, algo, workers, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSchema is the fixed schema fuzzed FDs are resolved against. The
+// names avoid the parser's meta-characters (commas, arrows, '∅') so a
+// successfully parsed FD always renders back to a parseable line.
+var fuzzSchema = []string{"alpha", "beta", "gamma", "delta", "eps"}
+
+// FuzzParseFD asserts that ParseFD never panics on arbitrary input, and
+// that every accepted line round-trips: rendering the parsed FD with
+// attribute names and parsing it again yields the identical FD.
+func FuzzParseFD(f *testing.F) {
+	f.Add("alpha, beta -> gamma")
+	f.Add("alpha→beta")
+	f.Add("-> delta")
+	f.Add("∅ -> eps")
+	f.Add("  gamma ,alpha  ->  beta ")
+	f.Add("alpha -> beta, gamma")
+	f.Add("nope -> alpha")
+	f.Add("alpha beta")
+	f.Add("")
+	f.Add("→")
+	f.Add("alpha -> alpha")
+	f.Fuzz(func(t *testing.T, line string) {
+		parsed, err := ParseFD(line, fuzzSchema)
+		if err != nil {
+			return // rejected input; only the absence of a panic matters
+		}
+		rendered := parsed.Names(fuzzSchema)
+		again, err := ParseFD(rendered, fuzzSchema)
+		if err != nil {
+			t.Fatalf("ParseFD(%q) accepted, but its rendering %q is rejected: %v",
+				line, rendered, err)
+		}
+		if again != parsed {
+			t.Fatalf("round trip not identical: %q parsed as %v, rendered %q, reparsed as %v",
+				line, parsed, rendered, again)
+		}
+		// Accepted FDs must stay within the schema (Names would otherwise
+		// have emitted a placeholder that cannot resolve back).
+		if parsed.RHS < 0 || parsed.RHS >= len(fuzzSchema) {
+			t.Fatalf("ParseFD(%q) returned out-of-schema RHS %d", line, parsed.RHS)
+		}
+	})
+}
+
+// FuzzParseCover asserts the line-oriented cover parser never panics and
+// that accepted covers round-trip FD-by-FD through Names/ParseFD.
+func FuzzParseCover(f *testing.F) {
+	f.Add("alpha -> beta\n# comment\n\nbeta, gamma -> delta\n")
+	f.Add("-> alpha")
+	f.Add("# only a comment")
+	f.Add("alpha ->")
+	f.Fuzz(func(t *testing.T, text string) {
+		cover, err := ParseCover(strings.NewReader(text), fuzzSchema)
+		if err != nil {
+			return
+		}
+		for _, parsed := range cover {
+			again, err := ParseFD(parsed.Names(fuzzSchema), fuzzSchema)
+			if err != nil || again != parsed {
+				t.Fatalf("cover FD %v does not round-trip (got %v, err %v)", parsed, again, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package hypergraph
+
+// Parallel-path tests for the per-attribute transversal fan-out: results
+// byte-identical to the sequential order for any worker count, and prompt
+// leak-free unwinding on mid-flight cancellation. The CI race job runs
+// these with -race -run Parallel.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/attrset"
+)
+
+func randomSimple(rng *rand.Rand) *Hypergraph {
+	n := 1 + rng.Intn(8)
+	edges := make(attrset.Family, 0, n)
+	for i := 0; i < n; i++ {
+		var e attrset.Set
+		for a := 0; a < 8; a++ {
+			if rng.Intn(3) == 0 {
+				e.Add(a)
+			}
+		}
+		edges = append(edges, e)
+	}
+	return Simplify(edges)
+}
+
+// TestParallelTransversalsMatchSequential pins the determinism guarantee
+// of TransversalsAll against per-hypergraph sequential calls.
+func TestParallelTransversalsMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 40; iter++ {
+		hs := make([]*Hypergraph, 1+rng.Intn(10))
+		for i := range hs {
+			if rng.Intn(6) == 0 {
+				hs[i] = nil // edgeless shorthand
+			} else {
+				hs[i] = randomSimple(rng)
+			}
+		}
+		want := make([]attrset.Family, len(hs))
+		for i, h := range hs {
+			if h == nil {
+				h = &Hypergraph{}
+			}
+			tr, err := h.MinimalTransversals(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = tr
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := TransversalsAll(context.Background(), hs, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("iter %d workers=%d hypergraph %d: got %v, want %v",
+						iter, workers, i, got[i].Strings(), want[i].Strings())
+				}
+			}
+		}
+	}
+}
+
+// slowHypergraph builds k pairwise-disjoint 2-vertex edges: Tr(H) has 2^k
+// minimal transversals and the levelwise search widens combinatorially,
+// so the computation cannot finish before the test cancels it.
+func slowHypergraph(t testing.TB, k int) *Hypergraph {
+	t.Helper()
+	edges := make(attrset.Family, k)
+	for i := 0; i < k; i++ {
+		edges[i] = attrset.New(2*i, 2*i+1)
+	}
+	h, err := New(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestParallelTransversalsCancellationMidFlight cancels TransversalsAll
+// while its workers are deep in levelwise searches, asserting prompt
+// unwinding with a wrapped context.Canceled and no leaked goroutines.
+func TestParallelTransversalsCancellationMidFlight(t *testing.T) {
+	hs := make([]*Hypergraph, 8)
+	for i := range hs {
+		hs[i] = slowHypergraph(t, 14)
+	}
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := TransversalsAll(ctx, hs, 4)
+		done <- err
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for runtime.NumGoroutine() < base+3 {
+		select {
+		case err := <-done:
+			t.Fatalf("finished before workers were observed (err=%v)", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("workers never spawned")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not unwind the transversal searches")
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -37,8 +37,9 @@ type Result struct {
 // ag(r) has no candidate at all for A (every couple of tuples agrees on
 // A), max(dep(r),A) is empty and so is cmax — the levelwise search then
 // correctly derives ∅ → A (A is constant). The full schema R never
-// appears among candidates because A ∈ R for every A; duplicate tuples
-// (which contribute R to ag(r)) therefore cannot corrupt the result.
+// appears among candidates because A ∈ R for every A — so even an ag(r)
+// computed under multiset semantics (where duplicate tuples contribute R)
+// cannot corrupt the result; internal/agree collapses duplicates anyway.
 func Compute(agreeSets attrset.Family, arity int) *Result {
 	res := &Result{
 		Arity: arity,

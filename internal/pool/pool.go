@@ -1,0 +1,98 @@
+// Package pool is the worker-pool substrate of the parallel discovery
+// paths: bounded fan-out over an indexed task list with context
+// cancellation and first-error propagation.
+//
+// The contract every caller relies on for determinism is that the pool
+// only decides *scheduling*, never *results*: tasks are identified by
+// index, workers write to per-task or per-worker state, and callers merge
+// at canonical order (sorted families, index-addressed slices). Running
+// with 1 worker or N workers must therefore produce byte-identical
+// results — the repo's differential tests enforce this across the whole
+// pipeline.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps an Options.Workers-style knob to an effective worker
+// count: values <= 0 mean runtime.GOMAXPROCS(0) (use every core), any
+// positive value is taken as-is (1 = the sequential reference path).
+func Resolve(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes fn for every task index 0..tasks-1 on up to workers
+// goroutines (after Resolve; capped at tasks). fn receives the worker id
+// in [0, workers) — stable per goroutine, for per-worker local state such
+// as private agree-set maps — and the task index.
+//
+// With an effective worker count of 1 the tasks run inline on the calling
+// goroutine in index order: the sequential reference path.
+//
+// On the first error (including context cancellation observed between
+// tasks) the remaining undispatched tasks are dropped, the context passed
+// to in-flight fn calls is cancelled, and Run returns that error after
+// every worker has exited — workers are never leaked. fn implementations
+// that can run long should poll ctx themselves so mid-task cancellation
+// is also prompt.
+func Run(ctx context.Context, workers, tasks int, fn func(ctx context.Context, worker, task int) error) error {
+	workers = Resolve(workers)
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for t := 0; t < tasks; t++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, 0, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(ctx, w, t); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}

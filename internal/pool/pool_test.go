@@ -1,0 +1,133 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7} {
+		if got := Resolve(n); got != n {
+			t.Errorf("Resolve(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestRunCoversEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		const tasks = 100
+		var mu sync.Mutex
+		hits := make([]int, tasks)
+		err := Run(context.Background(), workers, tasks, func(_ context.Context, w, task int) error {
+			if w < 0 || w >= workers {
+				t.Errorf("worker id %d out of range [0,%d)", w, workers)
+			}
+			mu.Lock()
+			hits[task]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for task, n := range hits {
+			if n != 1 {
+				t.Errorf("workers=%d: task %d ran %d times", workers, task, n)
+			}
+		}
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	if err := Run(context.Background(), 4, 0, func(context.Context, int, int) error {
+		t.Error("fn called with zero tasks")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSequentialOrder(t *testing.T) {
+	var got []int
+	err := Run(context.Background(), 1, 5, func(_ context.Context, w, task int) error {
+		if w != 0 {
+			t.Errorf("sequential worker id = %d", w)
+		}
+		got = append(got, task)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range got {
+		if task != i {
+			t.Fatalf("sequential order broken: %v", got)
+		}
+	}
+}
+
+func TestRunFirstErrorStopsDispatch(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := Run(context.Background(), 3, 1000, func(_ context.Context, _, task int) error {
+		ran.Add(1)
+		if task == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("error did not stop dispatch")
+	}
+}
+
+func TestRunCancellationInFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 4)
+	err := Run(ctx, 4, 64, func(taskCtx context.Context, _, task int) error {
+		select {
+		case started <- struct{}{}:
+			if len(started) == 1 {
+				cancel() // cancel while workers are in flight
+			}
+		default:
+		}
+		select {
+		case <-taskCtx.Done():
+			return taskCtx.Err()
+		case <-time.After(5 * time.Second):
+			return errors.New("task context not cancelled")
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := Run(ctx, workers, 10, func(context.Context, int, int) error {
+			t.Error("fn called under a cancelled context")
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}

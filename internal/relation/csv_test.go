@@ -138,3 +138,30 @@ func TestValueForCodeFirstOccurrenceOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteCSVSingleEmptyField is the regression for a fuzzer-found
+// round-trip bug: a record of exactly one empty field used to serialise
+// to a blank line, which CSV readers skip, silently dropping the tuple
+// (or the header) on reload.
+func TestWriteCSVSingleEmptyField(t *testing.T) {
+	r, err := FromRows([]string{""}, [][]string{{""}, {"x"}, {""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, true)
+	if err != nil {
+		t.Fatalf("reloading WriteCSV output: %v", err)
+	}
+	if back.Rows() != 3 || back.Arity() != 1 {
+		t.Fatalf("round trip changed shape: got %d×%d, want 3×1", back.Rows(), back.Arity())
+	}
+	for i, want := range []string{"", "x", ""} {
+		if got := back.Value(i, 0); got != want {
+			t.Errorf("row %d = %q, want %q", i, got, want)
+		}
+	}
+}

@@ -38,10 +38,10 @@ var ErrRaggedRow = errors.New("relation: row arity differs from schema")
 //
 // Tuples are identified by their dense index 0..Rows()-1 — the paper's
 // "positive integer unique to t". Note the paper defines a relation as a
-// *set* of tuples; Load and FromRows keep duplicate rows by default
-// (duplicates never change dep(r) or ag(r) beyond adding the full-R agree
-// set, which callers of agree-set computation handle; use Deduplicate for
-// strict set semantics).
+// *set* of tuples; Load and FromRows keep duplicate rows by default.
+// This is safe: duplicates change neither dep(r) nor ag(r) — the agree
+// algorithms collapse couples of identical tuples (set semantics) — so
+// Deduplicate is only needed to shrink storage.
 type Relation struct {
 	names []string
 	// cols[a][t] is the dictionary code of tuple t on attribute a.
@@ -177,7 +177,22 @@ func LoadFile(path string, header bool) (*Relation, error) {
 // WriteCSV writes the relation as CSV to w, with a header row.
 func (r *Relation) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(r.names); err != nil {
+	write := func(rec []string) error {
+		// A record of exactly one empty field would serialise to a blank
+		// line, which CSV readers skip — the tuple (or header) would
+		// vanish on reload. Force quotes for that case; encoding/csv
+		// offers no per-field quoting control.
+		if len(rec) == 1 && rec[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			_, err := io.WriteString(w, "\"\"\n")
+			return err
+		}
+		return cw.Write(rec)
+	}
+	if err := write(r.names); err != nil {
 		return fmt.Errorf("relation: writing csv: %w", err)
 	}
 	row := make([]string, len(r.names))
@@ -185,7 +200,7 @@ func (r *Relation) WriteCSV(w io.Writer) error {
 		for a := range r.names {
 			row[a] = r.dicts[a][r.cols[a][t]]
 		}
-		if err := cw.Write(row); err != nil {
+		if err := write(row); err != nil {
 			return fmt.Errorf("relation: writing csv: %w", err)
 		}
 	}
