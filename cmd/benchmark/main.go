@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -35,13 +36,15 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
 	)
 	flag.Parse()
-	if err := run(*experiment, *full, *timeout, *seed, *workers, *csvOut, *quiet); err != nil {
+	ctx, stop := cli.Context()
+	defer stop()
+	if err := run(ctx, *experiment, *full, *timeout, *seed, *workers, *csvOut, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
-		os.Exit(1)
+		os.Exit(cli.Code(ctx, err))
 	}
 }
 
-func run(id string, full bool, timeout time.Duration, seed uint64, workers int, csvOut string, quiet bool) error {
+func run(ctx context.Context, id string, full bool, timeout time.Duration, seed uint64, workers int, csvOut string, quiet bool) error {
 	if id == "list" {
 		for _, e := range bench.Experiments {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
@@ -98,7 +101,7 @@ func run(id string, full bool, timeout time.Duration, seed uint64, workers int, 
 			tableCfg.Progress = cfg.Progress
 			fmt.Fprintf(os.Stderr, "running grid c=%.0f%% (%d×%d cells)...\n",
 				e.Correlation*100, len(tableCfg.RowCounts), len(tableCfg.AttrCounts))
-			fullRes, err := bench.Run(context.Background(), tableCfg)
+			fullRes, err := bench.Run(ctx, tableCfg)
 			if err != nil {
 				return err
 			}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunList(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("list", false, time.Minute, 1, 0, "", true)
+		return run(context.Background(), "list", false, time.Minute, 1, 0, "", true)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +46,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run("tableX", false, time.Minute, 1, 0, "", true)
+		return run(context.Background(), "tableX", false, time.Minute, 1, 0, "", true)
 	}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
@@ -82,7 +83,7 @@ func TestRunTinyExperimentEndToEnd(t *testing.T) {
 	}
 	csvPath := filepath.Join(t.TempDir(), "cells.csv")
 	out, err := capture(t, func() error {
-		return run("table3", false, 30*time.Second, 1, 0, csvPath, true)
+		return run(context.Background(), "table3", false, 30*time.Second, 1, 0, csvPath, true)
 	})
 	if err != nil {
 		t.Fatal(err)

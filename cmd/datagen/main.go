@@ -8,12 +8,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -25,13 +27,18 @@ func main() {
 		out   = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*attrs, *rows, *c, *seed, *out); err != nil {
+	ctx, stop := cli.Context()
+	defer stop()
+	if err := run(ctx, *attrs, *rows, *c, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(1)
+		os.Exit(cli.Code(ctx, err))
 	}
 }
 
-func run(attrs, rows int, c float64, seed uint64, out string) error {
+func run(ctx context.Context, attrs, rows int, c float64, seed uint64, out string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	r, err := depminer.Generate(depminer.GenerateSpec{
 		Attrs:       attrs,
 		Rows:        rows,

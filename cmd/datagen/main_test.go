@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 
 func TestRunWritesFile(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "data.csv")
-	if err := run(4, 50, 0.5, 7, out); err != nil {
+	if err := run(context.Background(), 4, 50, 0.5, 7, out); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -35,10 +36,10 @@ func TestRunDeterministic(t *testing.T) {
 	dir := t.TempDir()
 	p1 := filepath.Join(dir, "1.csv")
 	p2 := filepath.Join(dir, "2.csv")
-	if err := run(3, 20, 0.3, 9, p1); err != nil {
+	if err := run(context.Background(), 3, 20, 0.3, 9, p1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(3, 20, 0.3, 9, p2); err != nil {
+	if err := run(context.Background(), 3, 20, 0.3, 9, p2); err != nil {
 		t.Fatal(err)
 	}
 	b1, _ := os.ReadFile(p1)
@@ -49,13 +50,13 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(-1, 10, 0, 1, ""); err == nil {
+	if err := run(context.Background(), -1, 10, 0, 1, ""); err == nil {
 		t.Error("negative attrs accepted")
 	}
-	if err := run(2, 10, 2.0, 1, ""); err == nil {
+	if err := run(context.Background(), 2, 10, 2.0, 1, ""); err == nil {
 		t.Error("correlation > 1 accepted")
 	}
-	if err := run(2, 10, 0, 1, filepath.Join(t.TempDir(), "no", "such", "dir", "f.csv")); err == nil {
+	if err := run(context.Background(), 2, 10, 0, 1, filepath.Join(t.TempDir(), "no", "such", "dir", "f.csv")); err == nil {
 		t.Error("unwritable path accepted")
 	}
 }
@@ -67,7 +68,7 @@ func TestRunStdout(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	errRun := run(2, 3, 0, 1, "")
+	errRun := run(context.Background(), 2, 3, 0, 1, "")
 	w.Close()
 	os.Stdout = old
 	if errRun != nil {

@@ -7,6 +7,9 @@
 //	depminer [flags] file.csv
 //
 // With no file, the paper's 7-tuple running example is used.
+//
+// Exit codes: 0 success, 1 bad input or error, 3 budget/deadline exceeded
+// (partial results are printed first), 130 interrupted.
 package main
 
 import (
@@ -17,114 +20,153 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 )
 
+// config carries the resolved command-line configuration.
+type config struct {
+	noHeader   bool
+	algo       string
+	armstrong  string
+	timeout    time.Duration
+	budget     int64
+	maxCouples int
+	workers    int
+	stats      bool
+	showKeys   bool
+	useNames   bool
+	args       []string
+}
+
 func main() {
-	var (
-		noHeader  = flag.Bool("no-header", false, "treat the first CSV record as data, not attribute names")
-		algo      = flag.String("algo", "depminer", "agree-set algorithm: depminer (alg. 2), depminer2 (alg. 3), fastfds, naive")
-		armstrong = flag.String("armstrong", "auto", "armstrong relation: auto (real-world with synthetic fallback), real, synthetic, none")
-		stream    = flag.Bool("stream", false, "one-pass bounded-memory mode: build stripped partitions while reading; no Armstrong relation")
-		timeout   = flag.Duration("timeout", 2*time.Hour, "abort discovery after this long (the paper's cutoff)")
-		workers   = flag.Int("workers", 0, "worker-pool width for the parallel pipeline phases: 0 = all cores, 1 = sequential (output is identical for every value)")
-		stats     = flag.Bool("stats", false, "print per-phase timings and counters")
-		keysFlag  = flag.Bool("keys", false, "also print the relation's minimal candidate keys")
-		names     = flag.Bool("names", true, "print FDs with attribute names (false: letter notation)")
-	)
+	cfg := config{}
+	var stream bool
+	flag.BoolVar(&cfg.noHeader, "no-header", false, "treat the first CSV record as data, not attribute names")
+	flag.StringVar(&cfg.algo, "algo", "depminer", "agree-set algorithm: depminer (alg. 2), depminer2 (alg. 3), fastfds, naive")
+	flag.StringVar(&cfg.armstrong, "armstrong", "auto", "armstrong relation: auto (real-world with synthetic fallback), real, synthetic, none")
+	flag.BoolVar(&stream, "stream", false, "one-pass bounded-memory mode: build stripped partitions while reading; no Armstrong relation")
+	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Hour, "deadline for discovery (the paper's cutoff); on expiry partial results are printed and the exit code is 3")
+	flag.Int64Var(&cfg.budget, "budget", 0, "resource budget in work units (couples + agree sets + candidate-level widths); 0 = unlimited; on overrun partial results are printed and the exit code is 3")
+	flag.IntVar(&cfg.maxCouples, "max-couples", 0, "couple threshold above which -algo depminer degrades to depminer2 (0 = never degrade)")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool width for the parallel pipeline phases: 0 = all cores, 1 = sequential (output is identical for every value)")
+	flag.BoolVar(&cfg.stats, "stats", false, "print per-phase timings and counters")
+	flag.BoolVar(&cfg.showKeys, "keys", false, "also print the relation's minimal candidate keys")
+	flag.BoolVar(&cfg.useNames, "names", true, "print FDs with attribute names (false: letter notation)")
 	flag.Parse()
+	cfg.args = flag.Args()
+
+	ctx, stop := cli.Context()
+	defer stop()
 	var err error
-	if *stream {
-		err = runStreamed(*noHeader, *algo, *timeout, *workers, *names, flag.Args())
+	if stream {
+		err = cfg.runStreamed(ctx)
 	} else {
-		err = run(*noHeader, *algo, *armstrong, *timeout, *workers, *stats, *keysFlag, *names, flag.Args())
+		err = cfg.run(ctx)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "depminer:", err)
-		os.Exit(1)
+		os.Exit(cli.Code(ctx, err))
 	}
 }
 
+// newBudget builds the run's budget from -timeout and -budget. A zero
+// timeout means no deadline; the guard deadline (rather than a context
+// deadline) lets an over-time run surface its partial results.
+func (cfg *config) newBudget() *depminer.Budget {
+	l := depminer.Limits{Units: cfg.budget}
+	if cfg.timeout > 0 {
+		l.Deadline = time.Now().Add(cfg.timeout)
+	}
+	if l.Units == 0 && l.Deadline.IsZero() {
+		return nil
+	}
+	return depminer.NewBudget(l)
+}
+
 // runStreamed is the bounded-memory path: CSV → stripped partitions → FDs.
-func runStreamed(noHeader bool, algoName string, timeout time.Duration, workers int, useNames bool, args []string) error {
-	if len(args) != 1 {
+func (cfg *config) runStreamed(ctx context.Context) error {
+	if len(cfg.args) != 1 {
 		return fmt.Errorf("-stream requires exactly one input file")
 	}
-	f, err := os.Open(args[0])
+	f, err := os.Open(cfg.args[0])
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	db, err := depminer.StreamCSV(f, !noHeader)
+	db, err := depminer.StreamCSV(f, !cfg.noHeader)
 	if err != nil {
 		return err
 	}
-	opts := depminer.Options{Workers: workers}
-	switch algoName {
+	opts := depminer.Options{Workers: cfg.workers, Budget: cfg.newBudget(), MaxCouples: cfg.maxCouples}
+	switch cfg.algo {
 	case "depminer":
 		opts.Algorithm = depminer.DepMiner
 	case "depminer2":
 		opts.Algorithm = depminer.DepMiner2
 	default:
-		return fmt.Errorf("-stream supports -algo depminer or depminer2, not %q", algoName)
+		return fmt.Errorf("-stream supports -algo depminer or depminer2, not %q", cfg.algo)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	res, err := depminer.DiscoverStreamed(ctx, db, opts)
-	if err != nil {
-		return err
+	res, rerr := depminer.DiscoverStreamed(ctx, db, opts)
+	if rerr != nil && (res == nil || !res.Partial) {
+		return rerr
+	}
+	if rerr != nil {
+		fmt.Fprintf(os.Stderr, "depminer: partial results (%v)\n", rerr)
 	}
 	fmt.Printf("%d tuples × %d attributes → %d minimal functional dependencies\n\n",
 		db.DB.NumRows, db.DB.Arity(), len(res.FDs))
 	for _, fdep := range res.FDs {
-		if useNames {
+		if cfg.useNames {
 			fmt.Println(fdep.Names(db.Names))
 		} else {
 			fmt.Println(fdep.String())
 		}
 	}
-	return nil
+	return rerr
 }
 
-func run(noHeader bool, algoName, armName string, timeout time.Duration, workers int, stats, showKeys, useNames bool, args []string) error {
+func (cfg *config) run(ctx context.Context) error {
 	var r *depminer.Relation
 	var err error
-	switch len(args) {
+	switch len(cfg.args) {
 	case 0:
 		r = depminer.PaperExample()
 		fmt.Println("(no input file: using the paper's running example)")
 	case 1:
-		r, err = depminer.LoadCSVFile(args[0], !noHeader)
+		r, err = depminer.LoadCSVFile(cfg.args[0], !cfg.noHeader)
 		if err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("expected at most one input file, got %d", len(args))
+		return fmt.Errorf("expected at most one input file, got %d", len(cfg.args))
 	}
 
-	if algoName == "fastfds" {
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		defer cancel()
-		res, err := depminer.DiscoverFastFDs(ctx, r)
-		if err != nil {
-			return err
+	budget := cfg.newBudget()
+	if cfg.algo == "fastfds" {
+		res, rerr := depminer.DiscoverFastFDsOpts(ctx, r, depminer.FastFDsOptions{Budget: budget})
+		if rerr != nil && (res == nil || !res.Partial) {
+			return rerr
+		}
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "depminer: partial results (%v)\n", rerr)
 		}
 		fmt.Printf("%d tuples × %d attributes → %d minimal functional dependencies (FastFDs)\n\n",
 			r.Rows(), r.Arity(), len(res.FDs))
 		for _, f := range res.FDs {
-			if useNames {
+			if cfg.useNames {
 				fmt.Println(f.Names(r.Names()))
 			} else {
 				fmt.Println(f.String())
 			}
 		}
-		if stats {
+		if cfg.stats {
 			fmt.Printf("\nDFS nodes=%d elapsed=%v\n", res.Nodes, res.Elapsed)
 		}
-		return nil
+		return rerr
 	}
 
-	opts := depminer.Options{Workers: workers}
-	switch algoName {
+	opts := depminer.Options{Workers: cfg.workers, Budget: budget, MaxCouples: cfg.maxCouples}
+	switch cfg.algo {
 	case "depminer":
 		opts.Algorithm = depminer.DepMiner
 	case "depminer2":
@@ -132,9 +174,9 @@ func run(noHeader bool, algoName, armName string, timeout time.Duration, workers
 	case "naive":
 		opts.Algorithm = depminer.NaiveBaseline
 	default:
-		return fmt.Errorf("unknown -algo %q", algoName)
+		return fmt.Errorf("unknown -algo %q", cfg.algo)
 	}
-	switch armName {
+	switch cfg.armstrong {
 	case "auto":
 		opts.Armstrong = depminer.ArmstrongRealWorldOrSynthetic
 	case "real":
@@ -144,20 +186,24 @@ func run(noHeader bool, algoName, armName string, timeout time.Duration, workers
 	case "none":
 		opts.Armstrong = depminer.ArmstrongNone
 	default:
-		return fmt.Errorf("unknown -armstrong %q", armName)
+		return fmt.Errorf("unknown -armstrong %q", cfg.armstrong)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	res, err := depminer.Discover(ctx, r, opts)
-	if err != nil {
-		return err
+	res, rerr := depminer.Discover(ctx, r, opts)
+	if rerr != nil && (res == nil || !res.Partial) {
+		return rerr
+	}
+	if rerr != nil {
+		fmt.Fprintf(os.Stderr, "depminer: partial results (%v)\n", rerr)
 	}
 
+	for _, note := range res.Notes {
+		fmt.Fprintln(os.Stderr, "depminer: note:", note)
+	}
 	fmt.Printf("%d tuples × %d attributes → %d minimal functional dependencies\n\n",
 		r.Rows(), r.Arity(), len(res.FDs))
 	for _, f := range res.FDs {
-		if useNames {
+		if cfg.useNames {
 			fmt.Println(f.Names(r.Names()))
 		} else {
 			fmt.Println(f.String())
@@ -174,10 +220,14 @@ func run(noHeader bool, algoName, armName string, timeout time.Duration, workers
 		fmt.Print(res.Armstrong.String())
 	}
 
-	if showKeys {
-		kr, err := depminer.DiscoverKeys(ctx, r)
-		if err != nil {
-			return err
+	if cfg.showKeys && rerr == nil {
+		kr, kerr := depminer.DiscoverKeysOpts(ctx, r, depminer.KeysOptions{Budget: budget})
+		if kerr != nil && (kr == nil || !kr.Partial) {
+			return kerr
+		}
+		if kerr != nil {
+			fmt.Fprintf(os.Stderr, "depminer: partial keys (%v)\n", kerr)
+			rerr = kerr
 		}
 		fmt.Printf("\n%d minimal candidate keys:\n", len(kr.Keys))
 		for _, k := range kr.Keys {
@@ -185,13 +235,16 @@ func run(noHeader bool, algoName, armName string, timeout time.Duration, workers
 		}
 	}
 
-	if stats {
+	if cfg.stats {
 		fmt.Printf("\ncolumn profile:\n%s", r.SummaryString())
 		fmt.Printf("\nphases: partitions=%v agree-sets=%v max-sets=%v lhs=%v armstrong=%v\n",
 			res.Timings.Partition, res.Timings.AgreeSets, res.Timings.MaxSets,
 			res.Timings.LHS, res.Timings.Armstrong)
 		fmt.Printf("couples=%d chunks=%d |ag(r)|=%d |MAX(dep(r))|=%d\n",
 			res.Couples, res.Chunks, len(res.AgreeSets), len(res.MaxSets))
+		if budget != nil {
+			fmt.Printf("budget: used=%d\n", budget.Used())
+		}
 	}
-	return nil
+	return rerr
 }

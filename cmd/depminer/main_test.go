@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,7 +43,8 @@ func paperCSV(t *testing.T) string {
 
 func TestRunPaperExample(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(false, "depminer", "auto", time.Minute, 0, true, true, true, nil)
+		cfg := config{algo: "depminer", armstrong: "auto", timeout: time.Minute, stats: true, showKeys: true, useNames: true}
+		return cfg.run(context.Background())
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +66,8 @@ func TestRunCSVFile(t *testing.T) {
 	csv := paperCSV(t)
 	for _, algo := range []string{"depminer", "depminer2", "naive", "fastfds"} {
 		out, err := capture(t, func() error {
-			return run(false, algo, "none", time.Minute, 0, false, false, false, []string{csv})
+			cfg := config{algo: algo, armstrong: "none", timeout: time.Minute, args: []string{csv}}
+			return cfg.run(context.Background())
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
@@ -77,22 +80,26 @@ func TestRunCSVFile(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run(false, "bogus", "auto", time.Minute, 0, false, false, true, nil)
+		cfg := config{algo: "bogus", armstrong: "auto", timeout: time.Minute, useNames: true}
+		return cfg.run(context.Background())
 	}); err == nil {
 		t.Error("unknown algo accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(false, "depminer", "bogus", time.Minute, 0, false, false, true, nil)
+		cfg := config{algo: "depminer", armstrong: "bogus", timeout: time.Minute, useNames: true}
+		return cfg.run(context.Background())
 	}); err == nil {
 		t.Error("unknown armstrong mode accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(false, "depminer", "auto", time.Minute, 0, false, false, true, []string{"a", "b"})
+		cfg := config{algo: "depminer", armstrong: "auto", timeout: time.Minute, useNames: true, args: []string{"a", "b"}}
+		return cfg.run(context.Background())
 	}); err == nil {
 		t.Error("two files accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(false, "depminer", "auto", time.Minute, 0, false, false, true, []string{"/nonexistent.csv"})
+		cfg := config{algo: "depminer", armstrong: "auto", timeout: time.Minute, useNames: true, args: []string{"/nonexistent.csv"}}
+		return cfg.run(context.Background())
 	}); err == nil {
 		t.Error("missing file accepted")
 	}
@@ -101,7 +108,8 @@ func TestRunErrors(t *testing.T) {
 func TestRunStreamed(t *testing.T) {
 	csv := paperCSV(t)
 	out, err := capture(t, func() error {
-		return runStreamed(false, "depminer2", time.Minute, 0, true, []string{csv})
+		cfg := config{algo: "depminer2", timeout: time.Minute, useNames: true, args: []string{csv}}
+		return cfg.runStreamed(context.Background())
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -110,12 +118,14 @@ func TestRunStreamed(t *testing.T) {
 		t.Errorf("streamed output wrong:\n%s", out)
 	}
 	if _, err := capture(t, func() error {
-		return runStreamed(false, "fastfds", time.Minute, 0, true, []string{csv})
+		cfg := config{algo: "fastfds", timeout: time.Minute, useNames: true, args: []string{csv}}
+		return cfg.runStreamed(context.Background())
 	}); err == nil {
 		t.Error("-stream with fastfds accepted")
 	}
 	if _, err := capture(t, func() error {
-		return runStreamed(false, "depminer", time.Minute, 0, true, nil)
+		cfg := config{algo: "depminer", timeout: time.Minute, useNames: true}
+		return cfg.runStreamed(context.Background())
 	}); err == nil {
 		t.Error("-stream without file accepted")
 	}

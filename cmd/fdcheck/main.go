@@ -10,6 +10,10 @@
 // rules that fail, fdcheck reports a violating pair of tuples. With
 // -explain, rules that hold are additionally explained from the
 // discovered canonical cover (a derivation chain of minimal FDs).
+//
+// Exit codes: 0 all rules hold, 1 bad input or error, 2 some rules are
+// violated, 3 budget/deadline exceeded during -explain discovery, 130
+// interrupted.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 )
 
 // errRulesViolated distinguishes "some rules failed" (exit 2) from
@@ -32,19 +37,22 @@ func main() {
 		fdsPath  = flag.String("fds", "", "file of dependencies to check (required)")
 		noHeader = flag.Bool("no-header", false, "treat the first CSV record as data")
 		explain  = flag.Bool("explain", false, "derive holding rules from the discovered minimal cover")
-		timeout  = flag.Duration("timeout", 2*time.Hour, "discovery timeout for -explain")
+		timeout  = flag.Duration("timeout", 2*time.Hour, "discovery deadline for -explain")
+		budget   = flag.Int64("budget", 0, "resource budget in work units for -explain discovery (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*fdsPath, *noHeader, *explain, *timeout, flag.Args()); err != nil {
+	ctx, stop := cli.Context()
+	defer stop()
+	if err := run(ctx, *fdsPath, *noHeader, *explain, *timeout, *budget, flag.Args()); err != nil {
 		if errors.Is(err, errRulesViolated) {
 			os.Exit(2)
 		}
 		fmt.Fprintln(os.Stderr, "fdcheck:", err)
-		os.Exit(1)
+		os.Exit(cli.Code(ctx, err))
 	}
 }
 
-func run(fdsPath string, noHeader, explain bool, timeout time.Duration, args []string) error {
+func run(ctx context.Context, fdsPath string, noHeader, explain bool, timeout time.Duration, budget int64, args []string) error {
 	if fdsPath == "" {
 		return fmt.Errorf("-fds is required")
 	}
@@ -67,10 +75,18 @@ func run(fdsPath string, noHeader, explain bool, timeout time.Duration, args []s
 
 	var cover depminer.Cover
 	if explain {
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		defer cancel()
-		res, err := depminer.Discover(ctx, r, depminer.Options{Armstrong: depminer.ArmstrongNone})
+		l := depminer.Limits{Units: budget}
+		if timeout > 0 {
+			l.Deadline = time.Now().Add(timeout)
+		}
+		var b *depminer.Budget
+		if l.Units > 0 || !l.Deadline.IsZero() {
+			b = depminer.NewBudget(l)
+		}
+		res, err := depminer.Discover(ctx, r, depminer.Options{Armstrong: depminer.ArmstrongNone, Budget: b})
 		if err != nil {
+			// A partial cover cannot explain anything soundly; fail the
+			// run with the governed error (exit code 3).
 			return err
 		}
 		cover = res.FDs

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,7 +43,7 @@ func TestCheckAllHold(t *testing.T) {
 	csv := write(t, "d.csv", "a,b,c\n1,x,p\n2,x,p\n3,y,q\n")
 	rules := write(t, "r.txt", "# rules\na -> b\na -> c\nb -> c\n")
 	out, err := capture(t, func() error {
-		return run(rules, false, true, time.Minute, []string{csv})
+		return run(context.Background(), rules, false, true, time.Minute, 0, []string{csv})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -60,7 +61,7 @@ func TestCheckViolationWitness(t *testing.T) {
 	csv := write(t, "d.csv", "a,b\n1,x\n2,x\n")
 	rules := write(t, "r.txt", "b -> a\n")
 	out, err := capture(t, func() error {
-		return run(rules, false, false, time.Minute, []string{csv})
+		return run(context.Background(), rules, false, false, time.Minute, 0, []string{csv})
 	})
 	if err == nil || !strings.Contains(err.Error(), "violated") {
 		t.Errorf("err = %v, want rules-violated sentinel", err)
@@ -75,21 +76,21 @@ func TestCheckViolationWitness(t *testing.T) {
 
 func TestCheckErrors(t *testing.T) {
 	csv := write(t, "d.csv", "a,b\n1,x\n")
-	if err := run("", false, false, time.Minute, []string{csv}); err == nil {
+	if err := run(context.Background(), "", false, false, time.Minute, 0, []string{csv}); err == nil {
 		t.Error("missing -fds accepted")
 	}
-	if err := run(csv, false, false, time.Minute, nil); err == nil {
+	if err := run(context.Background(), csv, false, false, time.Minute, 0, nil); err == nil {
 		t.Error("missing csv accepted")
 	}
 	bad := write(t, "bad.txt", "not a rule\n")
 	if _, err := capture(t, func() error {
-		return run(bad, false, false, time.Minute, []string{csv})
+		return run(context.Background(), bad, false, false, time.Minute, 0, []string{csv})
 	}); err == nil {
 		t.Error("unparseable rules accepted")
 	}
 	unknown := write(t, "u.txt", "z -> a\n")
 	if _, err := capture(t, func() error {
-		return run(unknown, false, false, time.Minute, []string{csv})
+		return run(context.Background(), unknown, false, false, time.Minute, 0, []string{csv})
 	}); err == nil {
 		t.Error("unknown attribute accepted")
 	}

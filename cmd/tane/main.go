@@ -5,6 +5,9 @@
 // Usage:
 //
 //	tane [flags] file.csv
+//
+// Exit codes: 0 success, 1 bad input or error, 3 budget/deadline exceeded
+// (partial results are printed first), 130 interrupted.
 package main
 
 import (
@@ -15,65 +18,92 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 )
 
+// config carries the resolved command-line configuration.
+type config struct {
+	noHeader bool
+	epsilon  float64
+	maxLHS   int
+	timeout  time.Duration
+	budget   int64
+	stats    bool
+	useNames bool
+	args     []string
+}
+
 func main() {
-	var (
-		noHeader = flag.Bool("no-header", false, "treat the first CSV record as data, not attribute names")
-		epsilon  = flag.Float64("epsilon", 0, "approximate-dependency threshold g3 ≤ ε (0 = exact)")
-		maxLHS   = flag.Int("max-lhs", 0, "bound on left-hand-side size (0 = unbounded)")
-		timeout  = flag.Duration("timeout", 2*time.Hour, "abort after this long")
-		stats    = flag.Bool("stats", false, "print lattice statistics")
-		names    = flag.Bool("names", true, "print FDs with attribute names (false: letter notation)")
-	)
+	cfg := config{}
+	flag.BoolVar(&cfg.noHeader, "no-header", false, "treat the first CSV record as data, not attribute names")
+	flag.Float64Var(&cfg.epsilon, "epsilon", 0, "approximate-dependency threshold g3 ≤ ε (0 = exact)")
+	flag.IntVar(&cfg.maxLHS, "max-lhs", 0, "bound on left-hand-side size (0 = unbounded)")
+	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Hour, "deadline for the search; on expiry partial results are printed and the exit code is 3")
+	flag.Int64Var(&cfg.budget, "budget", 0, "resource budget in lattice-node units (0 = unlimited); on overrun partial results are printed and the exit code is 3")
+	flag.BoolVar(&cfg.stats, "stats", false, "print lattice statistics")
+	flag.BoolVar(&cfg.useNames, "names", true, "print FDs with attribute names (false: letter notation)")
 	flag.Parse()
-	if err := run(*noHeader, *epsilon, *maxLHS, *timeout, *stats, *names, flag.Args()); err != nil {
+	cfg.args = flag.Args()
+
+	ctx, stop := cli.Context()
+	defer stop()
+	if err := cfg.run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "tane:", err)
-		os.Exit(1)
+		os.Exit(cli.Code(ctx, err))
 	}
 }
 
-func run(noHeader bool, epsilon float64, maxLHS int, timeout time.Duration, stats, useNames bool, args []string) error {
+func (cfg *config) run(ctx context.Context) error {
 	var r *depminer.Relation
 	var err error
-	switch len(args) {
+	switch len(cfg.args) {
 	case 0:
 		r = depminer.PaperExample()
 		fmt.Println("(no input file: using the paper's running example)")
 	case 1:
-		r, err = depminer.LoadCSVFile(args[0], !noHeader)
+		r, err = depminer.LoadCSVFile(cfg.args[0], !cfg.noHeader)
 		if err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("expected at most one input file, got %d", len(args))
+		return fmt.Errorf("expected at most one input file, got %d", len(cfg.args))
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	res, err := depminer.DiscoverTANE(ctx, r, depminer.TANEOptions{
-		Epsilon: epsilon,
-		MaxLHS:  maxLHS,
+	var budget *depminer.Budget
+	if cfg.budget > 0 || cfg.timeout > 0 {
+		l := depminer.Limits{Units: cfg.budget}
+		if cfg.timeout > 0 {
+			l.Deadline = time.Now().Add(cfg.timeout)
+		}
+		budget = depminer.NewBudget(l)
+	}
+	res, rerr := depminer.DiscoverTANE(ctx, r, depminer.TANEOptions{
+		Epsilon: cfg.epsilon,
+		MaxLHS:  cfg.maxLHS,
+		Budget:  budget,
 	})
-	if err != nil {
-		return err
+	if rerr != nil && (res == nil || !res.Partial) {
+		return rerr
+	}
+	if rerr != nil {
+		fmt.Fprintf(os.Stderr, "tane: partial results (%v)\n", rerr)
 	}
 
 	kind := "minimal functional dependencies"
-	if epsilon > 0 {
-		kind = fmt.Sprintf("approximate dependencies (g3 ≤ %v)", epsilon)
+	if cfg.epsilon > 0 {
+		kind = fmt.Sprintf("approximate dependencies (g3 ≤ %v)", cfg.epsilon)
 	}
 	fmt.Printf("%d tuples × %d attributes → %d %s\n\n", r.Rows(), r.Arity(), len(res.FDs), kind)
 	for _, f := range res.FDs {
-		if useNames {
+		if cfg.useNames {
 			fmt.Println(f.Names(r.Names()))
 		} else {
 			fmt.Println(f.String())
 		}
 	}
-	if stats {
+	if cfg.stats {
 		fmt.Printf("\nlattice: %d nodes over %d levels, %v elapsed\n",
 			res.LatticeNodes, res.Levels, res.Elapsed)
 	}
-	return nil
+	return rerr
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,7 +30,8 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunExactPaperExample(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(false, 0, 0, time.Minute, true, false, nil)
+		cfg := config{timeout: time.Minute, stats: true}
+		return cfg.run(context.Background())
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +49,8 @@ func TestRunExactPaperExample(t *testing.T) {
 
 func TestRunApproximate(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(false, 0.3, 0, time.Minute, false, true, nil)
+		cfg := config{epsilon: 0.3, timeout: time.Minute, useNames: true}
+		return cfg.run(context.Background())
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +66,8 @@ func TestRunCSVAndErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run(false, 0, 1, time.Minute, false, true, []string{path})
+		cfg := config{maxLHS: 1, timeout: time.Minute, useNames: true, args: []string{path}}
+		return cfg.run(context.Background())
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,12 +76,14 @@ func TestRunCSVAndErrors(t *testing.T) {
 		t.Errorf("output:\n%s", out)
 	}
 	if _, err := capture(t, func() error {
-		return run(false, -1, 0, time.Minute, false, true, nil)
+		cfg := config{epsilon: -1, timeout: time.Minute, useNames: true}
+		return cfg.run(context.Background())
 	}); err == nil {
 		t.Error("negative epsilon accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(false, 0, 0, time.Minute, false, true, []string{"x", "y"})
+		cfg := config{timeout: time.Minute, useNames: true, args: []string{"x", "y"}}
+		return cfg.run(context.Background())
 	}); err == nil {
 		t.Error("two files accepted")
 	}

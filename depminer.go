@@ -36,6 +36,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/fastfds"
 	"repro/internal/fd"
+	"repro/internal/guard"
 	"repro/internal/incremental"
 	"repro/internal/ind"
 	"repro/internal/keys"
@@ -124,6 +125,33 @@ const (
 // the sequential reference path); the Result is byte-identical for every
 // worker count.
 type Options = core.Options
+
+// Limits bound a governed run: a wall-clock Deadline and/or a Units
+// budget (a shared pool charged in each phase's natural units — couples,
+// agree sets, candidate-level widths, DFS nodes). Zero values mean
+// unlimited.
+type Limits = guard.Limits
+
+// Budget is a shared, concurrency-safe resource budget. Attach one to
+// Options.Budget (and friends) to govern a run; on overrun the miners
+// return the work completed so far as a partial result together with a
+// typed error (ErrBudget or ErrDeadline). A nil Budget is valid and means
+// ungoverned.
+type Budget = guard.Budget
+
+// NewBudget creates a budget from limits.
+func NewBudget(l Limits) *Budget { return guard.New(l) }
+
+// Typed failure sentinels, matched with errors.Is. Governed runs that
+// trip a limit return the partial result alongside an error wrapping
+// ErrBudget or ErrDeadline; contained panics wrap ErrPanic; malformed
+// Options are rejected up front with an error wrapping ErrInvalidOptions.
+var (
+	ErrBudget         = guard.ErrBudget
+	ErrDeadline       = guard.ErrDeadline
+	ErrPanic          = guard.ErrPanic
+	ErrInvalidOptions = core.ErrInvalidOptions
+)
 
 // Result is the outcome of a discovery run: the canonical FD cover, the
 // intermediate set families (agree sets, maximal sets, per-attribute
@@ -241,6 +269,9 @@ func DiscoverINDs(ctx context.Context, rels []*Relation, opts INDOptions) (*INDR
 // KeysResult is the outcome of candidate-key discovery.
 type KeysResult = keys.Result
 
+// KeysOptions configure candidate-key discovery.
+type KeysOptions = keys.Options
+
 // DiscoverKeys finds the minimal candidate keys (minimal unique column
 // combinations) of the relation instance with a levelwise partition
 // search. For duplicate-free relations these coincide with the keys of
@@ -249,8 +280,17 @@ func DiscoverKeys(ctx context.Context, r *Relation) (*KeysResult, error) {
 	return keys.Discover(ctx, r)
 }
 
+// DiscoverKeysOpts is DiscoverKeys under explicit options (budget
+// governance).
+func DiscoverKeysOpts(ctx context.Context, r *Relation, opts KeysOptions) (*KeysResult, error) {
+	return keys.DiscoverOpts(ctx, r, opts)
+}
+
 // FastFDsResult is the outcome of the depth-first difference-set miner.
 type FastFDsResult = fastfds.Result
+
+// FastFDsOptions configure the FastFDs miner.
+type FastFDsOptions = fastfds.Options
 
 // DiscoverFastFDs mines the same canonical cover as Discover with a
 // FastFDs-style depth-first search over difference sets (Wyss et al.
@@ -258,6 +298,12 @@ type FastFDsResult = fastfds.Result
 // levelwise candidate levels grow too wide.
 func DiscoverFastFDs(ctx context.Context, r *Relation) (*FastFDsResult, error) {
 	return fastfds.Run(ctx, r)
+}
+
+// DiscoverFastFDsOpts is DiscoverFastFDs under explicit options (budget
+// governance).
+func DiscoverFastFDsOpts(ctx context.Context, r *Relation, opts FastFDsOptions) (*FastFDsResult, error) {
+	return fastfds.RunOpts(ctx, r, opts)
 }
 
 // IncrementalMiner maintains FD discovery state under tuple insertions:

@@ -36,10 +36,13 @@ package agree
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/attrset"
+	"repro/internal/faultinject"
+	"repro/internal/guard"
 	"repro/internal/partition"
 	"repro/internal/pool"
 	"repro/internal/relation"
@@ -49,6 +52,24 @@ import (
 // the couples algorithm. The paper uses "a threshold (associated to the
 // number of tuples)"; 1<<20 couples ≈ 16 MB of couple state.
 const DefaultChunkSize = 1 << 20
+
+// ErrTooManyCouples reports that Algorithm 2's couple space exceeds the
+// configured degradation threshold — the signal on which core.Discover
+// falls back to Algorithm 3 (the paper's own remedy for correlated
+// relations, whose couple blow-up §5.2 demonstrates).
+var ErrTooManyCouples = errors.New("agree: couple count exceeds threshold")
+
+// CoupleOverflowError carries the couple count that crossed the
+// Options.MaxCouples threshold. It wraps ErrTooManyCouples.
+type CoupleOverflowError struct {
+	Couples, Max int
+}
+
+func (e *CoupleOverflowError) Error() string {
+	return fmt.Sprintf("agree: %d couples exceed the %d-couple threshold", e.Couples, e.Max)
+}
+
+func (e *CoupleOverflowError) Unwrap() error { return ErrTooManyCouples }
 
 // Result is the outcome of an agree-set computation.
 type Result struct {
@@ -97,6 +118,15 @@ type Options struct {
 	// runtime.GOMAXPROCS(0), 1 the sequential reference path. Results are
 	// byte-identical for every value.
 	Workers int
+	// MaxCouples makes Couples refuse inputs whose couple space exceeds
+	// the threshold, returning a *CoupleOverflowError before any sweep
+	// work — the degradation signal core.Discover reacts to. 0 disables.
+	MaxCouples int
+	// Budget governs the computation: the couple count and the agree
+	// sets produced are charged against it, and each chunk/stride passes
+	// a deadline checkpoint. On overrun the partial Result accumulated so
+	// far is returned together with the guard error. nil = ungoverned.
+	Budget *guard.Budget
 }
 
 func (o Options) chunkSize() int {
@@ -150,12 +180,18 @@ func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result
 	mc := db.MaximalClasses()
 	couples := generateCouples(mc)
 	res := &Result{Couples: len(couples)}
+	if opts.MaxCouples > 0 && len(couples) > opts.MaxCouples {
+		return nil, &CoupleOverflowError{Couples: len(couples), Max: opts.MaxCouples}
+	}
 
 	chunk := opts.chunkSize()
 	nChunks := (len(couples) + chunk - 1) / chunk
 	res.Chunks = nChunks
 	if nChunks == 0 {
 		res.Chunks = 1
+	}
+	if err := opts.Budget.Charge("agree", len(couples)); err != nil {
+		return res, err
 	}
 
 	workers := pool.Resolve(opts.Workers)
@@ -165,6 +201,12 @@ func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result
 	}
 	full := attrset.Universe(db.Arity())
 	err := pool.Run(ctx, workers, nChunks, func(_ context.Context, w, t int) error {
+		if err := faultinject.Fire(faultinject.AgreeChunk); err != nil {
+			return err
+		}
+		if err := opts.Budget.Checkpoint("agree"); err != nil {
+			return err
+		}
 		start := t * chunk
 		end := start + chunk
 		if end > len(couples) {
@@ -174,12 +216,29 @@ func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("agree: couples scan cancelled: %w", err)
+		return governedPartial(res, locals, err, "couples scan")
 	}
 	seen := mergeLocals(locals)
 	addEmptyIfUncovered(db, len(couples), seen)
 	res.Sets = familyOf(seen)
+	if err := opts.Budget.Charge("agree", len(res.Sets)); err != nil {
+		return res, err
+	}
 	return res, nil
+}
+
+// governedPartial classifies a sweep failure: governed outcomes (budget,
+// deadline, contained panic) keep the agree sets the workers accumulated
+// before the overrun — pool.Run has joined every worker by the time it
+// returns, so the locals are safe to merge — while cancellations and
+// ordinary errors discard the result as before. The empty-set completion
+// is skipped on the partial path: it is only meaningful for a full sweep.
+func governedPartial(res *Result, locals []map[attrset.Set]struct{}, err error, what string) (*Result, error) {
+	if !guard.Governed(err) {
+		return nil, fmt.Errorf("agree: %s cancelled: %w", what, err)
+	}
+	res.Sets = familyOf(mergeLocals(locals))
+	return res, err
 }
 
 // addEmptyIfUncovered inserts the empty agree set when some couple of
@@ -289,6 +348,9 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 	mc := db.MaximalClasses()
 	couples := generateCouples(mc)
 	res := &Result{Chunks: 1, Couples: len(couples)}
+	if err := opts.Budget.Charge("agree", len(couples)); err != nil {
+		return res, err
+	}
 
 	workers := pool.Resolve(opts.Workers)
 	locals := make([]map[attrset.Set]struct{}, workers)
@@ -298,6 +360,12 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 	full := attrset.Universe(db.Arity())
 	tasks := (len(couples) + identifierStride - 1) / identifierStride
 	err := pool.Run(ctx, workers, tasks, func(taskCtx context.Context, w, t int) error {
+		if err := faultinject.Fire(faultinject.AgreeStride); err != nil {
+			return err
+		}
+		if err := opts.Budget.Checkpoint("agree"); err != nil {
+			return err
+		}
 		start := t * identifierStride
 		end := start + identifierStride
 		if end > len(couples) {
@@ -335,11 +403,14 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("agree: identifier scan cancelled: %w", err)
+		return governedPartial(res, locals, err, "identifier scan")
 	}
 	seen := mergeLocals(locals)
 	addEmptyIfUncovered(db, len(couples), seen)
 	res.Sets = familyOf(seen)
+	if err := opts.Budget.Charge("agree", len(res.Sets)); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 

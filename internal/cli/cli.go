@@ -1,0 +1,58 @@
+// Package cli centralises behaviour shared by every command-line tool in
+// this repository: POSIX-style signal handling and a common exit-code
+// contract, so that scripts driving the miners can distinguish "bad
+// input" from "ran out of budget" from "operator pressed Ctrl-C".
+//
+// Exit codes:
+//
+//	0   success
+//	1   bad input or operational error
+//	2   tool-specific "checked and failed" (fdcheck: rules violated)
+//	3   resource budget or deadline exceeded (partial results may have
+//	    been printed)
+//	130 interrupted by SIGINT/SIGTERM (128+2, the shell convention)
+package cli
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/guard"
+)
+
+// Exit codes shared by all commands.
+const (
+	ExitOK          = 0
+	ExitError       = 1
+	ExitBudget      = 3
+	ExitInterrupted = 130
+)
+
+// Context returns a context cancelled on SIGINT or SIGTERM, plus its stop
+// function. The first signal cancels the context (letting in-flight
+// phases unwind and partial results print); a second signal kills the
+// process via the default handler, because stop() restores it — callers
+// should defer stop().
+func Context() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Code maps an error from a miner run to the exit-code contract. ctx
+// should be the signal context the run used: a cancelled signal context
+// turns context.Canceled errors into "interrupted".
+func Code(ctx context.Context, err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	if errors.Is(err, guard.ErrBudget) || errors.Is(err, guard.ErrDeadline) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return ExitBudget
+	}
+	if errors.Is(err, context.Canceled) && ctx != nil && ctx.Err() != nil {
+		return ExitInterrupted
+	}
+	return ExitError
+}

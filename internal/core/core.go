@@ -18,13 +18,16 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/agree"
 	"repro/internal/armstrong"
 	"repro/internal/attrset"
+	"repro/internal/faultinject"
 	"repro/internal/fd"
+	"repro/internal/guard"
 	"repro/internal/hypergraph"
 	"repro/internal/maxsets"
 	"repro/internal/partition"
@@ -97,6 +100,50 @@ type Options struct {
 	// every value — parallelism only changes scheduling, never results.
 	// The naive agree-set baseline ignores it and stays sequential.
 	Workers int
+	// MaxCouples is the graceful-degradation threshold for AgreeCouples:
+	// when Algorithm 2's couple space exceeds it, Discover falls back to
+	// AgreeIdentifiers (Algorithm 3 — the paper's own remedy for the
+	// correlated-relation blow-up of §5.2) before any sweep work, and
+	// records the switch in Result.Notes. 0 disables degradation.
+	MaxCouples int
+	// Budget governs the run: a wall-clock deadline plus a size budget
+	// charged in each phase's own units (couples enumerated, agree sets
+	// produced, transversal frontier width). Overruns return a
+	// guard.Error wrapping guard.ErrBudget or guard.ErrDeadline and the
+	// phase name, together with the partial Result accumulated so far
+	// (Result.Partial = true). nil means ungoverned.
+	Budget *guard.Budget
+}
+
+// ErrInvalidOptions is wrapped by every Options validation failure, so
+// callers can classify bad configuration apart from runtime failures.
+var ErrInvalidOptions = errors.New("core: invalid options")
+
+// Validate rejects nonsensical configurations up front — negative knob
+// values and out-of-range enums — so they fail with a typed error at the
+// API boundary instead of surfacing as obscure behaviour (or a silent
+// default) deep inside a phase.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: negative Workers %d", ErrInvalidOptions, o.Workers)
+	}
+	if o.ChunkSize < 0 {
+		return fmt.Errorf("%w: negative ChunkSize %d", ErrInvalidOptions, o.ChunkSize)
+	}
+	if o.MaxCouples < 0 {
+		return fmt.Errorf("%w: negative MaxCouples %d", ErrInvalidOptions, o.MaxCouples)
+	}
+	switch o.Algorithm {
+	case AgreeCouples, AgreeIdentifiers, AgreeNaive:
+	default:
+		return fmt.Errorf("%w: unknown agree algorithm %d", ErrInvalidOptions, int(o.Algorithm))
+	}
+	switch o.Armstrong {
+	case ArmstrongRealWorldOrSynthetic, ArmstrongRealWorld, ArmstrongSynthetic, ArmstrongNone:
+	default:
+		return fmt.Errorf("%w: unknown armstrong mode %d", ErrInvalidOptions, int(o.Armstrong))
+	}
+	return nil
 }
 
 // Timings records wall-clock duration per pipeline step.
@@ -137,44 +184,96 @@ type Result struct {
 	Couples, Chunks int
 	// Timings records per-step durations.
 	Timings Timings
+	// Partial reports that the run stopped early — budget or deadline
+	// overrun, or a contained panic — and the Result holds only the
+	// phases completed before the cutoff. A partial Result is always
+	// accompanied by a non-nil error wrapping guard.ErrBudget,
+	// guard.ErrDeadline, or guard.ErrPanic.
+	Partial bool
+	// Notes records run-time adaptations, e.g. the Algorithm 2 → 3
+	// graceful degradation when the couple space crosses
+	// Options.MaxCouples.
+	Notes []string
+}
+
+// fail classifies a phase error. Governed outcomes — budget or deadline
+// overruns and contained panics — keep the phases completed so far: res
+// is returned with Partial set alongside the error, honouring the
+// partial-result contract. Cancellations and ordinary failures discard
+// the result, as before.
+func fail(res *Result, err error) (*Result, error) {
+	if guard.Governed(err) {
+		res.Partial = true
+		return res, err
+	}
+	return nil, err
+}
+
+// contain converts a panic escaping a pipeline boundary into a
+// *guard.PanicError, marking the result partial. It must be deferred
+// directly.
+func contain(phase string, res *Result, errp *error) {
+	if p := recover(); p != nil {
+		res.Partial = true
+		*errp = guard.NewPanicError(phase, p)
+	}
 }
 
 // Discover runs the full Dep-Miner pipeline on a relation.
-func Discover(ctx context.Context, r *relation.Relation, opts Options) (*Result, error) {
-	res := &Result{}
+func Discover(ctx context.Context, r *relation.Relation, opts Options) (res *Result, err error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res = &Result{}
+	defer contain("core.Discover", res, &err)
 
 	// Step 1: AGREE_SET.
 	t0 := time.Now()
 	var agr *agree.Result
-	var err error
 	if opts.Algorithm == AgreeNaive {
+		if ferr := faultinject.Fire(faultinject.CoreAgree); ferr != nil {
+			return fail(res, ferr)
+		}
 		agr, err = agree.Naive(ctx, r)
 		if err != nil {
-			return nil, err
+			return fail(res, err)
 		}
 		res.Timings.AgreeSets = time.Since(t0)
 	} else {
+		if ferr := faultinject.Fire(faultinject.CorePartition); ferr != nil {
+			return fail(res, ferr)
+		}
 		db := partition.NewDatabase(r)
 		res.Timings.Partition = time.Since(t0)
+		if cerr := opts.Budget.Checkpoint("partition"); cerr != nil {
+			return fail(res, cerr)
+		}
 		t0 = time.Now()
-		agr, err = agreeSets(ctx, db, opts)
+		agr, err = agreeSets(ctx, db, opts, res)
 		if err != nil {
-			return nil, err
+			adoptAgree(res, agr)
+			return fail(res, err)
 		}
 		res.Timings.AgreeSets = time.Since(t0)
 	}
 
 	// Steps 2–4.
-	if err := deriveFDs(ctx, agr, r.Arity(), opts.Workers, res); err != nil {
-		return nil, err
+	if err := deriveFDs(ctx, agr, r.Arity(), opts, res); err != nil {
+		return fail(res, err)
 	}
 
 	// Step 5: ARMSTRONG_RELATION.
 	if opts.Armstrong != ArmstrongNone {
+		if ferr := faultinject.Fire(faultinject.CoreArmstrong); ferr != nil {
+			return fail(res, ferr)
+		}
+		if cerr := opts.Budget.Checkpoint("armstrong"); cerr != nil {
+			return fail(res, cerr)
+		}
 		t0 = time.Now()
-		arm, synthetic, err := buildArmstrong(r, res.MaxSets, opts.Armstrong)
-		if err != nil {
-			return nil, err
+		arm, synthetic, aerr := buildArmstrong(r, res.MaxSets, opts.Armstrong)
+		if aerr != nil {
+			return fail(res, aerr)
 		}
 		res.Armstrong = arm
 		res.ArmstrongSynthetic = synthetic
@@ -185,16 +284,24 @@ func Discover(ctx context.Context, r *relation.Relation, opts Options) (*Result,
 
 // DiscoverFromDatabase runs steps 1–4 on a pre-built stripped partition
 // database (no Armstrong relation, which needs the original values).
-func DiscoverFromDatabase(ctx context.Context, db *partition.Database, opts Options) (*Result, error) {
-	res := &Result{}
-	t0 := time.Now()
-	agr, err := agreeSets(ctx, db, opts)
-	if err != nil {
+func DiscoverFromDatabase(ctx context.Context, db *partition.Database, opts Options) (res *Result, err error) {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Algorithm == AgreeNaive {
+		return nil, fmt.Errorf("%w: the naive agree-set scan needs the relation; use Discover", ErrInvalidOptions)
+	}
+	res = &Result{}
+	defer contain("core.DiscoverFromDatabase", res, &err)
+	t0 := time.Now()
+	agr, aerr := agreeSets(ctx, db, opts, res)
+	if aerr != nil {
+		adoptAgree(res, agr)
+		return fail(res, aerr)
+	}
 	res.Timings.AgreeSets = time.Since(t0)
-	if err := deriveFDs(ctx, agr, db.Arity(), opts.Workers, res); err != nil {
-		return nil, err
+	if derr := deriveFDs(ctx, agr, db.Arity(), opts, res); derr != nil {
+		return fail(res, derr)
 	}
 	return res, nil
 }
@@ -204,34 +311,63 @@ func DiscoverFromDatabase(ctx context.Context, db *partition.Database, opts Opti
 // ag(r) under inserts and re-derives the cover on demand. It runs the
 // sequential reference path: the cost is independent of |r| and too
 // small to benefit from fan-out.
-func DeriveFromAgreeSets(ctx context.Context, sets attrset.Family, arity int) (*Result, error) {
-	res := &Result{}
-	if err := deriveFDs(ctx, &agree.Result{Sets: sets, Chunks: 1}, arity, 1, res); err != nil {
-		return nil, err
+func DeriveFromAgreeSets(ctx context.Context, sets attrset.Family, arity int) (res *Result, err error) {
+	res = &Result{}
+	defer contain("core.DeriveFromAgreeSets", res, &err)
+	if derr := deriveFDs(ctx, &agree.Result{Sets: sets, Chunks: 1}, arity, Options{Workers: 1}, res); derr != nil {
+		return fail(res, derr)
 	}
 	return res, nil
 }
 
-func agreeSets(ctx context.Context, db *partition.Database, opts Options) (*agree.Result, error) {
-	switch opts.Algorithm {
-	case AgreeCouples:
-		return agree.Couples(ctx, db, agree.Options{ChunkSize: opts.ChunkSize, Workers: opts.Workers})
-	case AgreeIdentifiers:
-		return agree.Identifiers(ctx, db, agree.Options{ChunkSize: opts.ChunkSize, Workers: opts.Workers})
-	case AgreeNaive:
-		return nil, fmt.Errorf("core: the naive agree-set scan needs the relation; use Discover")
-	default:
-		return nil, fmt.Errorf("core: unknown agree algorithm %d", opts.Algorithm)
+// adoptAgree copies whatever step 1 accumulated before failing into res,
+// so a governed overrun mid-sweep still reports the couples examined and
+// the (partial) agree sets collected.
+func adoptAgree(res *Result, agr *agree.Result) {
+	if agr == nil {
+		return
 	}
-}
-
-// deriveFDs runs steps 2–4 from the agree sets into res.
-func deriveFDs(ctx context.Context, agr *agree.Result, arity, workers int, res *Result) error {
 	res.AgreeSets = agr.Sets
 	res.Couples = agr.Couples
 	res.Chunks = agr.Chunks
+}
+
+// agreeSets runs step 1 on the stripped partition database, degrading
+// from Algorithm 2 to Algorithm 3 when the couple space crosses
+// Options.MaxCouples — the paper's own remedy for correlated relations,
+// recorded in res.Notes.
+func agreeSets(ctx context.Context, db *partition.Database, opts Options, res *Result) (*agree.Result, error) {
+	if ferr := faultinject.Fire(faultinject.CoreAgree); ferr != nil {
+		return nil, ferr
+	}
+	aopts := agree.Options{ChunkSize: opts.ChunkSize, Workers: opts.Workers, Budget: opts.Budget}
+	if opts.Algorithm == AgreeIdentifiers {
+		return agree.Identifiers(ctx, db, aopts)
+	}
+	aopts.MaxCouples = opts.MaxCouples
+	agr, err := agree.Couples(ctx, db, aopts)
+	var overflow *agree.CoupleOverflowError
+	if errors.As(err, &overflow) {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"agree: degraded from Dep-Miner (Algorithm 2) to Dep-Miner 2 (Algorithm 3): %d couples exceed the %d-couple threshold",
+			overflow.Couples, overflow.Max))
+		aopts.MaxCouples = 0
+		return agree.Identifiers(ctx, db, aopts)
+	}
+	return agr, err
+}
+
+// deriveFDs runs steps 2–4 from the agree sets into res.
+func deriveFDs(ctx context.Context, agr *agree.Result, arity int, opts Options, res *Result) error {
+	adoptAgree(res, agr)
 
 	// Step 2: CMAX_SET.
+	if ferr := faultinject.Fire(faultinject.CoreMaxSets); ferr != nil {
+		return ferr
+	}
+	if cerr := opts.Budget.Checkpoint("maxsets"); cerr != nil {
+		return cerr
+	}
 	t0 := time.Now()
 	ms := maxsets.Compute(res.AgreeSets, arity)
 	res.MaxSets = ms.AllMax()
@@ -242,12 +378,18 @@ func deriveFDs(ctx context.Context, agr *agree.Result, arity, workers int, res *
 	// attribute (paper Fig. 1 step 4); FDs are then emitted from the
 	// index-ordered results, keeping the output canonical regardless of
 	// which worker finished first.
+	if ferr := faultinject.Fire(faultinject.CoreLHS); ferr != nil {
+		return ferr
+	}
+	if cerr := opts.Budget.Checkpoint("lhs"); cerr != nil {
+		return cerr
+	}
 	t0 = time.Now()
 	hs := make([]*hypergraph.Hypergraph, arity)
 	for a := 0; a < arity; a++ {
 		hs[a] = hypergraph.Simplify(ms.CMax[a])
 	}
-	lhs, err := hypergraph.TransversalsAll(ctx, hs, workers)
+	lhs, err := hypergraph.TransversalsAll(ctx, hs, opts.Workers, opts.Budget)
 	if err != nil {
 		return err
 	}

@@ -32,11 +32,22 @@ import (
 
 	"repro/internal/agree"
 	"repro/internal/attrset"
+	"repro/internal/faultinject"
 	"repro/internal/fd"
+	"repro/internal/guard"
 	"repro/internal/maxsets"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
+
+// Options configure a FastFDs run.
+type Options struct {
+	// Budget governs the run: the agree-set computation charges couples
+	// and sets produced, and the DFS charges nodes visited. On overrun
+	// the partial Result (covers of the attributes completed, Partial =
+	// true) is returned with the guard error. nil means ungoverned.
+	Budget *guard.Budget
+}
 
 // Result is the outcome of a FastFDs run.
 type Result struct {
@@ -46,31 +57,63 @@ type Result struct {
 	Nodes int
 	// Elapsed is the wall-clock duration.
 	Elapsed time.Duration
+	// Partial reports that the search stopped early on a budget or
+	// deadline overrun (or a contained panic): FDs holds only the RHS
+	// attributes fully searched before the cutoff. Always accompanied by
+	// a non-nil error.
+	Partial bool
 }
 
 // Run mines all minimal non-trivial FDs of the relation.
 func Run(ctx context.Context, r *relation.Relation) (*Result, error) {
+	return RunOpts(ctx, r, Options{})
+}
+
+// RunOpts is Run under explicit options. Panics anywhere in the miner are
+// contained at this boundary and surface as a *guard.PanicError.
+func RunOpts(ctx context.Context, r *relation.Relation, opts Options) (res *Result, err error) {
 	start := time.Now()
+	res = &Result{}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Partial = true
+			res.Elapsed = time.Since(start)
+			err = guard.NewPanicError("fastfds", p)
+		}
+	}()
 	db := partition.NewDatabase(r)
-	agr, err := agree.Identifiers(ctx, db, agree.Options{})
-	if err != nil {
-		return nil, err
+	agr, aerr := agree.Identifiers(ctx, db, agree.Options{Budget: opts.Budget})
+	if aerr != nil {
+		if guard.Governed(aerr) {
+			res.Partial = true
+			res.Elapsed = time.Since(start)
+			return res, aerr
+		}
+		return nil, aerr
 	}
-	res, err := FromAgreeSets(ctx, agr.Sets, r.Arity())
-	if err != nil {
-		return nil, err
+	inner, derr := FromAgreeSetsOpts(ctx, agr.Sets, r.Arity(), opts)
+	if inner != nil {
+		inner.Elapsed = time.Since(start)
+		res = inner
 	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return res, derr
 }
 
 // FromAgreeSets mines the cover from precomputed agree sets.
 func FromAgreeSets(ctx context.Context, agreeSets attrset.Family, arity int) (*Result, error) {
+	return FromAgreeSetsOpts(ctx, agreeSets, arity, Options{})
+}
+
+// FromAgreeSetsOpts is FromAgreeSets under explicit options.
+func FromAgreeSetsOpts(ctx context.Context, agreeSets attrset.Family, arity int, opts Options) (*Result, error) {
 	ms := maxsets.Compute(agreeSets, arity)
 	res := &Result{}
 	for a := 0; a < arity; a++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("fastfds: cancelled: %w", err)
+		}
+		if ferr := faultinject.Fire(faultinject.FastFDsAttr); ferr != nil {
+			return failFastFDs(res, ferr)
 		}
 		// Difference sets modulo A.
 		diff := make(attrset.Family, 0, len(ms.CMax[a]))
@@ -96,7 +139,10 @@ func FromAgreeSets(ctx context.Context, agreeSets attrset.Family, arity int) (*R
 		// Keep only ⊆-minimal difference sets: any cover of a set also
 		// covers its supersets.
 		diff = diff.Minimal()
-		covers := findCovers(ctx, diff, arity, &res.Nodes)
+		covers, cerr := findCovers(ctx, diff, arity, &res.Nodes, opts.Budget)
+		if cerr != nil {
+			return failFastFDs(res, cerr)
+		}
 		for _, x := range covers {
 			res.FDs = append(res.FDs, fd.FD{LHS: x, RHS: a})
 		}
@@ -105,16 +151,34 @@ func FromAgreeSets(ctx context.Context, agreeSets attrset.Family, arity int) (*R
 	return res, nil
 }
 
+// failFastFDs finalises an interrupted search: governed errors keep the
+// FDs mined so far as a partial result, anything else drops them.
+func failFastFDs(res *Result, err error) (*Result, error) {
+	if !guard.Governed(err) {
+		return nil, err
+	}
+	res.Partial = true
+	res.FDs.Sort()
+	return res, err
+}
+
+// chargeEvery is how many DFS nodes accumulate between budget charges:
+// coarse enough that an ungoverned run pays one pointer test per node,
+// fine enough that an overrun is caught within ~one batch.
+const chargeEvery = 1024
+
 // searchState carries the per-attribute DFS context.
 type searchState struct {
-	diff  attrset.Family // minimal difference sets to cover
-	out   attrset.Family
-	nodes *int
+	diff    attrset.Family // minimal difference sets to cover
+	out     attrset.Family
+	nodes   *int
+	budget  *guard.Budget
+	pending int // nodes visited since the last budget charge
 }
 
 // findCovers returns all minimal covers of the difference-set family.
-func findCovers(ctx context.Context, diff attrset.Family, arity int, nodes *int) attrset.Family {
-	st := &searchState{diff: diff, nodes: nodes}
+func findCovers(ctx context.Context, diff attrset.Family, arity int, nodes *int, b *guard.Budget) (attrset.Family, error) {
+	st := &searchState{diff: diff, nodes: nodes, budget: b}
 	// Initial ordering: attributes of the union, by descending cover
 	// count (FastFDs' heuristic), ties by ascending index.
 	var universe attrset.Set
@@ -126,9 +190,16 @@ func findCovers(ctx context.Context, diff attrset.Family, arity int, nodes *int)
 	for i := range uncovered {
 		uncovered[i] = i
 	}
-	st.dfs(attrset.Empty(), order, uncovered)
+	err := st.dfs(attrset.Empty(), order, uncovered)
+	if err == nil && st.budget != nil && st.pending > 0 {
+		err = st.budget.Charge("fastfds", st.pending)
+		st.pending = 0
+	}
+	if err != nil {
+		return nil, err
+	}
 	st.out.Sort()
-	return st.out
+	return st.out, nil
 }
 
 // orderByCoverage sorts candidate attributes by how many of the given
@@ -167,16 +238,26 @@ func orderByCoverage(attrs []attrset.Attr, diff attrset.Family) []attrset.Attr {
 // dfs explores extensions of path. order lists the attributes still
 // allowed (in heuristic order); uncovered indexes st.diff members not yet
 // intersected by path.
-func (st *searchState) dfs(path attrset.Set, order []attrset.Attr, uncovered []int) {
+func (st *searchState) dfs(path attrset.Set, order []attrset.Attr, uncovered []int) error {
 	*st.nodes++
+	if st.budget != nil {
+		st.pending++
+		if st.pending >= chargeEvery {
+			n := st.pending
+			st.pending = 0
+			if err := st.budget.Charge("fastfds", n); err != nil {
+				return err
+			}
+		}
+	}
 	if len(uncovered) == 0 {
 		if st.isMinimal(path) {
 			st.out = append(st.out, path)
 		}
-		return
+		return nil
 	}
 	if len(order) == 0 {
-		return // dead end: remaining sets cannot be covered
+		return nil // dead end: remaining sets cannot be covered
 	}
 	for i, a := range order {
 		// Only attributes after a (in the current ordering) may extend
@@ -195,8 +276,11 @@ func (st *searchState) dfs(path attrset.Set, order []attrset.Attr, uncovered []i
 		// Re-rank the remaining attributes against the still-uncovered
 		// sets (the FastFDs heuristic re-orders per node).
 		reordered := orderByCoverageIdx(rest, st.diff, next)
-		st.dfs(path.With(a), reordered, next)
+		if err := st.dfs(path.With(a), reordered, next); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // orderByCoverageIdx ranks attrs by coverage of the indexed subset of

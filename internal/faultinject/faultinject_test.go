@@ -1,0 +1,96 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFireUnarmed(t *testing.T) {
+	Reset()
+	for _, p := range Points() {
+		if err := Fire(p); err != nil {
+			t.Errorf("Fire(%s) unarmed = %v", p, err)
+		}
+	}
+}
+
+func TestSetFireClear(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set(TANELevel, FailWith(boom))
+	if err := Fire(TANELevel); !errors.Is(err, boom) {
+		t.Errorf("armed Fire = %v", err)
+	}
+	// Other points stay unarmed.
+	if err := Fire(KeysLevel); err != nil {
+		t.Errorf("unarmed point fired: %v", err)
+	}
+	Clear(TANELevel)
+	if err := Fire(TANELevel); err != nil {
+		t.Errorf("cleared Fire = %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	Set(CoreAgree, FailWith(errors.New("a")))
+	Set(CoreLHS, FailWith(errors.New("b")))
+	Reset()
+	if err := Fire(CoreAgree); err != nil {
+		t.Errorf("after Reset: %v", err)
+	}
+	if err := Fire(CoreLHS); err != nil {
+		t.Errorf("after Reset: %v", err)
+	}
+}
+
+func TestPanicWith(t *testing.T) {
+	defer Reset()
+	Set(PoolTask, PanicWith("kaboom"))
+	defer func() {
+		if p := recover(); p != "kaboom" {
+			t.Errorf("recovered %v", p)
+		}
+	}()
+	Fire(PoolTask)
+	t.Error("PanicWith hook did not panic")
+}
+
+func TestSleep(t *testing.T) {
+	defer Reset()
+	Set(CoreMaxSets, Sleep(10*time.Millisecond))
+	start := time.Now()
+	if err := Fire(CoreMaxSets); err != nil {
+		t.Errorf("Sleep hook = %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("slept only %v", d)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	defer Reset()
+	boom := errors.New("late boom")
+	Set(AgreeChunk, After(2, FailWith(boom)))
+	for i := 0; i < 2; i++ {
+		if err := Fire(AgreeChunk); err != nil {
+			t.Fatalf("call %d = %v, want nil", i, err)
+		}
+	}
+	if err := Fire(AgreeChunk); !errors.Is(err, boom) {
+		t.Errorf("third call = %v, want injected error", err)
+	}
+}
+
+func TestPointsAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Points() {
+		if seen[p] {
+			t.Errorf("duplicate point %s", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 13 {
+		t.Errorf("got %d points, want 13", len(seen))
+	}
+}

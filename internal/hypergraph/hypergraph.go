@@ -21,6 +21,8 @@ import (
 	"fmt"
 
 	"repro/internal/attrset"
+	"repro/internal/faultinject"
+	"repro/internal/guard"
 )
 
 // ErrNotSimple is returned when edges do not form a simple hypergraph.
@@ -117,6 +119,15 @@ func (h *Hypergraph) IsMinimalTransversal(t attrset.Set) bool {
 // ORs the parents' bitmaps (the candidate is exactly their union), so the
 // transversal test is a word-wise comparison instead of an edge scan.
 func (h *Hypergraph) MinimalTransversals(ctx context.Context) (attrset.Family, error) {
+	return h.MinimalTransversalsGoverned(ctx, nil)
+}
+
+// MinimalTransversalsGoverned is MinimalTransversals under a resource
+// budget: each candidate level charges its width — the frontier size,
+// which is exactly the search's memory footprint — against the budget,
+// and passes a deadline checkpoint, so a combinatorial blow-up of the
+// levelwise search is stopped within one level of crossing the limit.
+func (h *Hypergraph) MinimalTransversalsGoverned(ctx context.Context, b *guard.Budget) (attrset.Family, error) {
 	if len(h.edges) == 0 {
 		return attrset.Family{attrset.Empty()}, nil
 	}
@@ -163,6 +174,12 @@ func (h *Hypergraph) MinimalTransversals(ctx context.Context) (attrset.Family, e
 	for len(level) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("hypergraph: transversal search cancelled: %w", err)
+		}
+		if err := faultinject.Fire(faultinject.HypergraphLevel); err != nil {
+			return nil, err
+		}
+		if err := b.Charge("lhs", len(level)); err != nil {
+			return nil, err
 		}
 		var survivors []cand
 		clear(surviving)

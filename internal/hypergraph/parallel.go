@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/attrset"
+	"repro/internal/guard"
 	"repro/internal/pool"
 )
 
@@ -22,14 +23,20 @@ import (
 // callers an allocation for attributes with no cmax edges. Cancellation
 // propagates into every in-flight levelwise search; the first error
 // cancels the remaining tasks and is returned after all workers exit.
-func TransversalsAll(ctx context.Context, hs []*Hypergraph, workers int) ([]attrset.Family, error) {
+//
+// The budget b (nil = ungoverned) is shared across all searches: every
+// in-flight level charges its frontier width against the same pool, so
+// the combined memory footprint of the concurrent searches is what the
+// budget bounds. Panics inside a search are contained at the pool's task
+// boundary and surface as a *guard.PanicError.
+func TransversalsAll(ctx context.Context, hs []*Hypergraph, workers int, b *guard.Budget) ([]attrset.Family, error) {
 	out := make([]attrset.Family, len(hs))
 	err := pool.Run(ctx, workers, len(hs), func(taskCtx context.Context, _, i int) error {
 		h := hs[i]
 		if h == nil {
 			h = &Hypergraph{}
 		}
-		tr, err := h.MinimalTransversals(taskCtx)
+		tr, err := h.MinimalTransversalsGoverned(taskCtx, b)
 		if err != nil {
 			return err
 		}

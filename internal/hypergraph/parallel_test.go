@@ -56,7 +56,7 @@ func TestParallelTransversalsMatchSequential(t *testing.T) {
 			want[i] = tr
 		}
 		for _, workers := range []int{1, 2, 8} {
-			got, err := TransversalsAll(context.Background(), hs, workers)
+			got, err := TransversalsAll(context.Background(), hs, workers, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,7 +99,7 @@ func TestParallelTransversalsCancellationMidFlight(t *testing.T) {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() {
-		_, err := TransversalsAll(ctx, hs, 4)
+		_, err := TransversalsAll(ctx, hs, 4, nil)
 		done <- err
 	}()
 

@@ -26,6 +26,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/faultinject"
+	"repro/internal/guard"
 	"repro/internal/relation"
 )
 
@@ -91,6 +93,11 @@ type Options struct {
 	// KeepReflexive keeps trivial INDs of a column sequence in itself.
 	// Off by default.
 	KeepReflexive bool
+	// Budget governs the search: each level charges the number of
+	// candidates it tested. On overrun the INDs validated so far are
+	// returned as a partial Result with the guard error. nil means
+	// ungoverned.
+	Budget *guard.Budget
 }
 
 func (o Options) maxArity() int {
@@ -107,12 +114,30 @@ type Result struct {
 	INDs []IND
 	// Candidates counts the n-ary candidates tested (search-space size).
 	Candidates int
+	// Partial reports that the search stopped early on a budget or
+	// deadline overrun (or a contained panic): INDs holds only the
+	// dependencies validated on completed levels. Always accompanied by a
+	// non-nil error.
+	Partial bool
 }
 
 // Discover finds inclusion dependencies within and across the given
-// relations.
-func Discover(ctx context.Context, rels []*relation.Relation, opts Options) (*Result, error) {
-	res := &Result{}
+// relations. Panics anywhere in the search are contained at this boundary
+// and surface as a *guard.PanicError.
+func Discover(ctx context.Context, rels []*relation.Relation, opts Options) (res *Result, err error) {
+	res = &Result{}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Partial = true
+			err = guard.NewPanicError("ind", p)
+		}
+	}()
+	if ferr := faultinject.Fire(faultinject.INDLevel); ferr != nil {
+		return failINDs(res, ferr)
+	}
+	if cerr := opts.Budget.Checkpoint("ind"); cerr != nil {
+		return failINDs(res, cerr)
+	}
 	// Stage 1: unary INDs by value-set containment.
 	sets := make([][]map[string]struct{}, len(rels))
 	for ri, r := range rels {
@@ -148,6 +173,10 @@ func Discover(ctx context.Context, rels []*relation.Relation, opts Options) (*Re
 		}
 	}
 	res.INDs = append(res.INDs, unary...)
+	if cerr := opts.Budget.Charge("ind", res.Candidates); cerr != nil {
+		sortINDs(res.INDs)
+		return failINDs(res, cerr)
+	}
 
 	// Stage 2: levelwise n-ary candidates from the valid (k−1)-ary ones.
 	level := unary
@@ -155,6 +184,11 @@ func Discover(ctx context.Context, rels []*relation.Relation, opts Options) (*Re
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("ind: cancelled: %w", err)
 		}
+		if ferr := faultinject.Fire(faultinject.INDLevel); ferr != nil {
+			sortINDs(res.INDs)
+			return failINDs(res, ferr)
+		}
+		before := res.Candidates
 		valid := indexByKey(level)
 		var next []IND
 		seen := map[string]struct{}{}
@@ -181,9 +215,23 @@ func Discover(ctx context.Context, rels []*relation.Relation, opts Options) (*Re
 		sortINDs(next)
 		res.INDs = append(res.INDs, next...)
 		level = next
+		if cerr := opts.Budget.Charge("ind", res.Candidates-before); cerr != nil {
+			sortINDs(res.INDs)
+			return failINDs(res, cerr)
+		}
 	}
 	sortINDs(res.INDs)
 	return res, nil
+}
+
+// failINDs finalises an interrupted search: governed errors keep the INDs
+// validated so far as a partial result, anything else drops them.
+func failINDs(res *Result, err error) (*Result, error) {
+	if !guard.Governed(err) {
+		return nil, err
+	}
+	res.Partial = true
+	return res, err
 }
 
 // indexByKey indexes valid INDs by their canonical key for the Apriori

@@ -20,9 +20,20 @@ import (
 	"time"
 
 	"repro/internal/attrset"
+	"repro/internal/faultinject"
+	"repro/internal/guard"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
+
+// Options configure a key discovery run.
+type Options struct {
+	// Budget governs the levelwise search: each lattice level charges its
+	// width (the number of materialised partitions, which is the search's
+	// memory footprint). On overrun the keys found so far are returned as
+	// a partial Result with the guard error. nil means ungoverned.
+	Budget *guard.Budget
+}
 
 // Result is the outcome of a key discovery run.
 type Result struct {
@@ -34,12 +45,31 @@ type Result struct {
 	LatticeNodes int
 	// Elapsed is the wall-clock duration.
 	Elapsed time.Duration
+	// Partial reports that the search stopped early on a budget or
+	// deadline overrun (or a contained panic): Keys holds only the keys
+	// confirmed before the cutoff, and longer keys may be missing. Always
+	// accompanied by a non-nil error.
+	Partial bool
 }
 
 // Discover finds all minimal candidate keys of the relation.
 func Discover(ctx context.Context, r *relation.Relation) (*Result, error) {
+	return DiscoverOpts(ctx, r, Options{})
+}
+
+// DiscoverOpts is Discover under explicit options. Panics anywhere in the
+// search are contained at this boundary and surface as a
+// *guard.PanicError.
+func DiscoverOpts(ctx context.Context, r *relation.Relation, opts Options) (res *Result, err error) {
 	start := time.Now()
-	res := &Result{}
+	res = &Result{}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Partial = true
+			res.Elapsed = time.Since(start)
+			err = guard.NewPanicError("keys", p)
+		}
+	}()
 	n := r.Arity()
 	if n == 0 {
 		// The empty set is a key iff the relation has at most one tuple.
@@ -65,6 +95,12 @@ func Discover(ctx context.Context, r *relation.Relation) (*Result, error) {
 	for len(level) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("keys: cancelled: %w", err)
+		}
+		if err := faultinject.Fire(faultinject.KeysLevel); err != nil {
+			return failKeys(res, start, err)
+		}
+		if err := opts.Budget.Charge("keys", len(level)); err != nil {
+			return failKeys(res, start, err)
 		}
 		res.LatticeNodes += len(level)
 		survivors := make(map[attrset.Set]*node, len(level))
@@ -111,6 +147,18 @@ func Discover(ctx context.Context, r *relation.Relation) (*Result, error) {
 	res.Keys.Sort()
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// failKeys finalises an interrupted search: governed errors keep the keys
+// confirmed so far as a partial result, anything else drops them.
+func failKeys(res *Result, start time.Time, err error) (*Result, error) {
+	if !guard.Governed(err) {
+		return nil, err
+	}
+	res.Partial = true
+	res.Keys.Sort()
+	res.Elapsed = time.Since(start)
+	return res, err
 }
 
 // IsUnique reports whether X is a superkey of the instance (no two tuples

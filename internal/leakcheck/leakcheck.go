@@ -1,0 +1,38 @@
+// Package leakcheck is a test helper asserting that a test leaves no
+// goroutines behind — the leak-freedom half of the robustness contract:
+// every miner must unwind completely on success, cancellation, budget
+// overrun, and contained panic alike.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the goroutine count and registers a cleanup that fails
+// the test if the count has not returned to the snapshot within a grace
+// period (workers unwind asynchronously after the coordinator returns).
+// Call it first in the test; tests using it must not run in parallel,
+// since the count is process-global.
+func Check(t testing.TB) {
+	t.Helper()
+	start := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= start {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d at start, %d after cleanup\n%s", start, n, buf)
+	})
+}

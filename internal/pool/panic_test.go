@@ -1,0 +1,82 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/guard"
+)
+
+// TestRunContainsPanicSequential checks the workers<=1 inline path turns
+// a task panic into a *guard.PanicError instead of unwinding the caller.
+func TestRunContainsPanicSequential(t *testing.T) {
+	err := Run(context.Background(), 1, 3, func(_ context.Context, _, task int) error {
+		if task == 1 {
+			panic("task 1 exploded")
+		}
+		return nil
+	})
+	if !errors.Is(err, guard.ErrPanic) {
+		t.Fatalf("err = %v, want contained panic", err)
+	}
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err is %T", err)
+	}
+	if pe.Value != "task 1 exploded" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+}
+
+// TestRunContainsPanicParallel checks a panicking task in a worker
+// goroutine is contained, the remaining tasks are cancelled, and every
+// worker unwinds (no goroutine leak).
+func TestRunContainsPanicParallel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var started atomic.Int64
+	err := Run(context.Background(), 4, 64, func(ctx context.Context, _, task int) error {
+		started.Add(1)
+		if task == 5 {
+			panic(errors.New("worker bomb"))
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(10 * time.Millisecond):
+		}
+		return nil
+	})
+	if !errors.Is(err, guard.ErrPanic) {
+		t.Fatalf("err = %v, want contained panic", err)
+	}
+	if started.Load() == 64 {
+		t.Error("panic did not stop dispatch")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines: %d before, %d after", before, n)
+	}
+}
+
+// TestRunFiresPoolTaskHook checks the fault-injection point inside the
+// task dispatch propagates its error through both execution paths.
+func TestRunFiresPoolTaskHook(t *testing.T) {
+	defer faultinject.Reset()
+	boom := errors.New("injected")
+	faultinject.Set(faultinject.PoolTask, faultinject.FailWith(boom))
+	for _, workers := range []int{1, 4} {
+		err := Run(context.Background(), workers, 8, func(context.Context, int, int) error {
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want injected error", workers, err)
+		}
+	}
+}

@@ -13,9 +13,13 @@ package pool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
+	"repro/internal/guard"
 )
 
 // Resolve maps an Options.Workers-style knob to an effective worker
@@ -42,6 +46,11 @@ func Resolve(n int) int {
 // every worker has exited — workers are never leaked. fn implementations
 // that can run long should poll ctx themselves so mid-task cancellation
 // is also prompt.
+//
+// A panic inside fn is contained at the task boundary: it is converted to
+// a *guard.PanicError (wrapping guard.ErrPanic), the remaining tasks are
+// cancelled, and Run returns the error with every worker unwound — a
+// pathological task never takes the process down or strands goroutines.
 func Run(ctx context.Context, workers, tasks int, fn func(ctx context.Context, worker, task int) error) error {
 	workers = Resolve(workers)
 	if workers > tasks {
@@ -52,7 +61,7 @@ func Run(ctx context.Context, workers, tasks int, fn func(ctx context.Context, w
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, 0, t); err != nil {
+			if err := runTask(ctx, fn, 0, t); err != nil {
 				return err
 			}
 		}
@@ -86,7 +95,7 @@ func Run(ctx context.Context, workers, tasks int, fn func(ctx context.Context, w
 					fail(err)
 					return
 				}
-				if err := fn(ctx, w, t); err != nil {
+				if err := runTask(ctx, fn, w, t); err != nil {
 					fail(err)
 					return
 				}
@@ -95,4 +104,18 @@ func Run(ctx context.Context, workers, tasks int, fn func(ctx context.Context, w
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// runTask dispatches one task with panic containment and the worker-loop
+// fault-injection hook.
+func runTask(ctx context.Context, fn func(ctx context.Context, worker, task int) error, w, t int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = guard.NewPanicError(fmt.Sprintf("pool worker %d task %d", w, t), p)
+		}
+	}()
+	if err := faultinject.Fire(faultinject.PoolTask); err != nil {
+		return err
+	}
+	return fn(ctx, w, t)
 }

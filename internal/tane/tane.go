@@ -26,7 +26,9 @@ import (
 	"time"
 
 	"repro/internal/attrset"
+	"repro/internal/faultinject"
 	"repro/internal/fd"
+	"repro/internal/guard"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
@@ -41,6 +43,12 @@ type Options struct {
 	// MaxLHS bounds the size of left-hand sides explored (0 = no bound).
 	// Levels beyond the bound are not generated.
 	MaxLHS int
+	// Budget governs the run: each lattice level charges its width (the
+	// number of candidate attribute sets materialised — TANE's memory
+	// unit) and passes a deadline checkpoint. On overrun Run returns the
+	// partial Result (FDs of the levels completed, Partial = true)
+	// together with the guard error. nil means ungoverned.
+	Budget *guard.Budget
 }
 
 // Result is the outcome of a TANE run.
@@ -56,6 +64,11 @@ type Result struct {
 	Levels int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// Partial reports that the search stopped early on a budget or
+	// deadline overrun (or a contained panic): FDs holds only the
+	// dependencies emitted by the levels completed before the cutoff.
+	// Always accompanied by a non-nil error from Run.
+	Partial bool
 }
 
 // node is the per-attribute-set lattice state.
@@ -64,11 +77,19 @@ type node struct {
 	cplus attrset.Set
 }
 
-// Run executes TANE on the relation.
-func Run(ctx context.Context, r *relation.Relation, opts Options) (*Result, error) {
+// Run executes TANE on the relation. Panics anywhere in the search are
+// contained at this boundary and surface as a *guard.PanicError.
+func Run(ctx context.Context, r *relation.Relation, opts Options) (res *Result, err error) {
 	start := time.Now()
 	n := r.Arity()
-	res := &Result{}
+	res = &Result{}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Partial = true
+			res.Elapsed = time.Since(start)
+			err = guard.NewPanicError("tane", p)
+		}
+	}()
 	if n == 0 {
 		res.Elapsed = time.Since(start)
 		return res, nil
@@ -104,6 +125,12 @@ func Run(ctx context.Context, r *relation.Relation, opts Options) (*Result, erro
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("tane: cancelled at level %d: %w", res.Levels+1, err)
 		}
+		if ferr := faultinject.Fire(faultinject.TANELevel); ferr != nil {
+			return failTANE(res, start, ferr)
+		}
+		if cerr := opts.Budget.Charge("tane", len(level)); cerr != nil {
+			return failTANE(res, start, cerr)
+		}
 		res.Levels++
 		res.LatticeNodes += len(level)
 
@@ -133,6 +160,19 @@ func Run(ctx context.Context, r *relation.Relation, opts Options) (*Result, erro
 	res.FDs.Sort()
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// failTANE classifies a mid-search failure: governed outcomes keep the
+// FDs of the completed levels (Partial = true); anything else discards
+// the result.
+func failTANE(res *Result, start time.Time, err error) (*Result, error) {
+	if !guard.Governed(err) {
+		return nil, err
+	}
+	res.Partial = true
+	res.FDs.Sort()
+	res.Elapsed = time.Since(start)
+	return res, err
 }
 
 // computeDependencies is TANE's COMPUTE_DEPENDENCIES: derive C⁺(X) from

@@ -1,0 +1,421 @@
+package depminer
+
+// The robustness suite: fault injection at every hook point, typed-error
+// unwinding, partial-result integrity, budget and deadline governance,
+// graceful degradation, pathological inputs, and goroutine-leak freedom.
+// Run it under -race: the containment boundaries and the shared budget
+// are exactly where races would hide.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/guard"
+	"repro/internal/leakcheck"
+)
+
+// errInjected is the sentinel every error-injection test plants and then
+// expects back, possibly wrapped, from the miner under test.
+var errInjected = errors.New("injected fault")
+
+// runForPoint maps a hook point to a miner invocation that crosses it,
+// returning the run's error and whether a partial result accompanied it.
+func runForPoint(t *testing.T, point string) (error, bool) {
+	t.Helper()
+	ctx := context.Background()
+	r := PaperExample()
+	switch point {
+	case faultinject.AgreeStride:
+		res, err := Discover(ctx, r, Options{Algorithm: DepMiner2, Workers: 2})
+		return err, res != nil && res.Partial
+	case faultinject.TANELevel:
+		res, err := DiscoverTANE(ctx, r, TANEOptions{})
+		return err, res != nil && res.Partial
+	case faultinject.KeysLevel:
+		res, err := DiscoverKeys(ctx, r)
+		return err, res != nil && res.Partial
+	case faultinject.INDLevel:
+		res, err := DiscoverINDs(ctx, []*Relation{r}, INDOptions{})
+		return err, res != nil && res.Partial
+	case faultinject.FastFDsAttr:
+		res, err := DiscoverFastFDs(ctx, r)
+		return err, res != nil && res.Partial
+	default:
+		res, err := Discover(ctx, r, Options{Workers: 2})
+		return err, res != nil && res.Partial
+	}
+}
+
+// TestFaultInjectionErrors arms every hook point with an error and
+// asserts it unwinds out of the owning miner, with no goroutine leaked.
+func TestFaultInjectionErrors(t *testing.T) {
+	leakcheck.Check(t)
+	for _, point := range faultinject.Points() {
+		t.Run(point, func(t *testing.T) {
+			leakcheck.Check(t)
+			faultinject.Set(point, faultinject.FailWith(errInjected))
+			defer faultinject.Reset()
+			err, _ := runForPoint(t, point)
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("err = %v, want the injected sentinel", err)
+			}
+		})
+	}
+}
+
+// TestFaultInjectionPanics arms every hook point with a panic and asserts
+// it is contained into a *guard.PanicError wrapping guard.ErrPanic, with
+// a partial result retained and no goroutine leaked.
+func TestFaultInjectionPanics(t *testing.T) {
+	leakcheck.Check(t)
+	for _, point := range faultinject.Points() {
+		t.Run(point, func(t *testing.T) {
+			leakcheck.Check(t)
+			faultinject.Set(point, faultinject.PanicWith("injected panic at "+point))
+			defer faultinject.Reset()
+			err, partial := runForPoint(t, point)
+			if !errors.Is(err, guard.ErrPanic) {
+				t.Fatalf("err = %v, want a contained panic", err)
+			}
+			var pe *guard.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err is %T, want *guard.PanicError", err)
+			}
+			if pe.Value != "injected panic at "+point {
+				t.Errorf("panic value = %v", pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("no stack captured")
+			}
+			if !partial {
+				t.Error("contained panic did not surface a partial result")
+			}
+		})
+	}
+}
+
+// TestFaultInjectionMidRun injects after the first crossing of a worker
+// point, so a partially filled accumulator exists when the fault lands.
+func TestFaultInjectionMidRun(t *testing.T) {
+	leakcheck.Check(t)
+	faultinject.Set(faultinject.AgreeStride, faultinject.After(1, faultinject.PanicWith("late")))
+	defer faultinject.Reset()
+	r, err := Generate(GenerateSpec{Attrs: 6, Rows: 3000, Correlation: 0.7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, derr := Discover(context.Background(), r, Options{Algorithm: DepMiner2, Workers: 2, Armstrong: ArmstrongNone})
+	if !errors.Is(derr, guard.ErrPanic) {
+		t.Fatalf("err = %v, want contained panic", derr)
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("no partial result")
+	}
+}
+
+// TestBudgetOverrunPartialResult exhausts a tiny unit budget and checks
+// the typed error, the phase attribution, and the partial result.
+func TestBudgetOverrunPartialResult(t *testing.T) {
+	leakcheck.Check(t)
+	r := PaperExample()
+	b := NewBudget(Limits{Units: 3})
+	res, err := Discover(context.Background(), r, Options{Budget: b})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	var ge *guard.Error
+	if !errors.As(err, &ge) {
+		t.Fatalf("err is %T, want *guard.Error", err)
+	}
+	if ge.Phase == "" {
+		t.Error("no phase attributed")
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("no partial result")
+	}
+	if b.Used() <= 3 {
+		t.Errorf("Used = %d, want the overrunning charge recorded", b.Used())
+	}
+}
+
+// TestDeadlineOverrunPartialResult runs under an already-expired deadline.
+func TestDeadlineOverrunPartialResult(t *testing.T) {
+	leakcheck.Check(t)
+	r := PaperExample()
+	b := NewBudget(Limits{Deadline: time.Now().Add(-time.Second)})
+	res, err := Discover(context.Background(), r, Options{Budget: b})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("no partial result")
+	}
+}
+
+// TestBudgetAcrossMiners gives every miner a budget too small to finish
+// and checks each returns its typed partial result.
+func TestBudgetAcrossMiners(t *testing.T) {
+	leakcheck.Check(t)
+	ctx := context.Background()
+	r, err := Generate(GenerateSpec{Attrs: 8, Rows: 500, Correlation: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("tane", func(t *testing.T) {
+		res, err := DiscoverTANE(ctx, r, TANEOptions{Budget: NewBudget(Limits{Units: 5})})
+		if !errors.Is(err, ErrBudget) || res == nil || !res.Partial {
+			t.Fatalf("err=%v res=%+v", err, res)
+		}
+	})
+	t.Run("keys", func(t *testing.T) {
+		res, err := DiscoverKeysOpts(ctx, r, KeysOptions{Budget: NewBudget(Limits{Units: 2})})
+		if !errors.Is(err, ErrBudget) || res == nil || !res.Partial {
+			t.Fatalf("err=%v res=%+v", err, res)
+		}
+	})
+	t.Run("fastfds", func(t *testing.T) {
+		res, err := DiscoverFastFDsOpts(ctx, r, FastFDsOptions{Budget: NewBudget(Limits{Units: 5})})
+		if !errors.Is(err, ErrBudget) || res == nil || !res.Partial {
+			t.Fatalf("err=%v res=%+v", err, res)
+		}
+	})
+	t.Run("ind", func(t *testing.T) {
+		res, err := DiscoverINDs(ctx, []*Relation{r}, INDOptions{Budget: NewBudget(Limits{Units: 5})})
+		if !errors.Is(err, ErrBudget) || res == nil || !res.Partial {
+			t.Fatalf("err=%v res=%+v", err, res)
+		}
+	})
+}
+
+// TestBudgetSufficientIsIdentical checks governance is observation-only:
+// a run that finishes within budget returns exactly the ungoverned result.
+func TestBudgetSufficientIsIdentical(t *testing.T) {
+	leakcheck.Check(t)
+	ctx := context.Background()
+	r := PaperExample()
+	plain, err := Discover(ctx, r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBudget(Limits{Units: 1 << 30, Deadline: time.Now().Add(time.Hour)})
+	governed, err := Discover(ctx, r, Options{Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if governed.Partial {
+		t.Error("within-budget run marked partial")
+	}
+	if fmt.Sprint(plain.FDs) != fmt.Sprint(governed.FDs) {
+		t.Errorf("governed cover differs:\n%v\n%v", plain.FDs, governed.FDs)
+	}
+	if fmt.Sprint(plain.AgreeSets) != fmt.Sprint(governed.AgreeSets) {
+		t.Error("governed agree sets differ")
+	}
+	if b.Used() == 0 {
+		t.Error("budget not charged at all")
+	}
+}
+
+// TestGracefulDegradation forces the Algorithm 2 → 3 fallback with a
+// 1-couple threshold and checks the cover is unchanged and the switch is
+// recorded in Notes.
+func TestGracefulDegradation(t *testing.T) {
+	leakcheck.Check(t)
+	ctx := context.Background()
+	r := PaperExample()
+	plain, err := Discover(ctx, r, Options{Armstrong: ArmstrongNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := Discover(ctx, r, Options{Armstrong: ArmstrongNone, MaxCouples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(degraded.Notes) != 1 || !strings.Contains(degraded.Notes[0], "degraded") {
+		t.Fatalf("Notes = %v", degraded.Notes)
+	}
+	if fmt.Sprint(plain.FDs) != fmt.Sprint(degraded.FDs) {
+		t.Errorf("degraded cover differs:\n%v\n%v", plain.FDs, degraded.FDs)
+	}
+	// A threshold the couple space fits under must not degrade.
+	roomy, err := Discover(ctx, r, Options{Armstrong: ArmstrongNone, MaxCouples: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roomy.Notes) != 0 {
+		t.Errorf("unexpected Notes = %v", roomy.Notes)
+	}
+}
+
+// TestOptionsValidation checks malformed Options fail fast with the typed
+// sentinel, for both pipeline entry points.
+func TestOptionsValidation(t *testing.T) {
+	ctx := context.Background()
+	r := PaperExample()
+	bad := []Options{
+		{Workers: -1},
+		{ChunkSize: -5},
+		{MaxCouples: -1},
+		{Algorithm: Algorithm(99)},
+		{Armstrong: ArmstrongMode(-2)},
+	}
+	for _, opts := range bad {
+		if _, err := Discover(ctx, r, opts); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("Discover(%+v) err = %v, want ErrInvalidOptions", opts, err)
+		}
+	}
+	// DiscoverFromDatabase additionally rejects the naive algorithm.
+	db := mustStream(t, r)
+	if _, err := DiscoverStreamed(ctx, db, Options{Algorithm: NaiveBaseline}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("streamed naive err = %v, want ErrInvalidOptions", err)
+	}
+	if _, err := DiscoverStreamed(ctx, db, Options{Workers: -3}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("streamed bad workers err = %v, want ErrInvalidOptions", err)
+	}
+	// Valid options still validate clean.
+	if err := (core.Options{Workers: 4, ChunkSize: 100}).Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func mustStream(t *testing.T, r *Relation) *StreamedDatabase {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	db, err := StreamCSV(strings.NewReader(sb.String()), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// pathological returns the degenerate relations every miner must survive.
+func pathological(t *testing.T) map[string]*Relation {
+	t.Helper()
+	mk := func(names []string, rows [][]string) *Relation {
+		r, err := NewRelation(names, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	// Width = MaxAttrs: two rows agreeing on column 0 only. (Agreeing on
+	// many columns would be a combinatorial bomb for the levelwise
+	// searches — e.g. 128 shared columns give the key search a 2^128
+	// lattice — which is the budget's job to stop, not this suite's.)
+	wideNames := make([]string, MaxAttrs)
+	wideRow1 := make([]string, MaxAttrs)
+	wideRow2 := make([]string, MaxAttrs)
+	for i := range wideNames {
+		wideNames[i] = fmt.Sprintf("c%d", i)
+		wideRow1[i] = "x"
+		if i == 0 {
+			wideRow2[i] = "x"
+		} else {
+			wideRow2[i] = fmt.Sprintf("y%d", i)
+		}
+	}
+	return map[string]*Relation{
+		"all-identical": mk([]string{"a", "b", "c"}, [][]string{
+			{"1", "1", "1"}, {"1", "1", "1"}, {"1", "1", "1"},
+		}),
+		"all-distinct": mk([]string{"a", "b", "c"}, [][]string{
+			{"1", "4", "7"}, {"2", "5", "8"}, {"3", "6", "9"},
+		}),
+		"one-row": mk([]string{"a", "b"}, [][]string{{"1", "2"}}),
+		"zero-rows": mk([]string{"a", "b"}, nil),
+		"max-width": mk(wideNames, [][]string{wideRow1, wideRow2}),
+	}
+}
+
+// TestPathologicalInputs runs every miner over every degenerate relation:
+// nothing may error, panic, or leak, and the FD miners must agree with
+// each other on the cover size.
+func TestPathologicalInputs(t *testing.T) {
+	leakcheck.Check(t)
+	ctx := context.Background()
+	for name, r := range pathological(t) {
+		t.Run(name, func(t *testing.T) {
+			leakcheck.Check(t)
+			dm, err := Discover(ctx, r, Options{Armstrong: ArmstrongNone})
+			if err != nil {
+				t.Fatalf("depminer: %v", err)
+			}
+			dm2, err := Discover(ctx, r, Options{Algorithm: DepMiner2, Armstrong: ArmstrongNone})
+			if err != nil {
+				t.Fatalf("depminer2: %v", err)
+			}
+			ff, err := DiscoverFastFDs(ctx, r)
+			if err != nil {
+				t.Fatalf("fastfds: %v", err)
+			}
+			tn, err := DiscoverTANE(ctx, r, TANEOptions{})
+			if err != nil {
+				t.Fatalf("tane: %v", err)
+			}
+			if fmt.Sprint(dm.FDs) != fmt.Sprint(dm2.FDs) ||
+				fmt.Sprint(dm.FDs) != fmt.Sprint(ff.FDs) ||
+				fmt.Sprint(dm.FDs) != fmt.Sprint(tn.FDs) {
+				t.Errorf("covers disagree: depminer=%d depminer2=%d fastfds=%d tane=%d",
+					len(dm.FDs), len(dm2.FDs), len(ff.FDs), len(tn.FDs))
+			}
+			if _, err := DiscoverKeys(ctx, r); err != nil {
+				t.Fatalf("keys: %v", err)
+			}
+			if _, err := DiscoverINDs(ctx, []*Relation{r}, INDOptions{MaxArity: 2}); err != nil {
+				t.Fatalf("ind: %v", err)
+			}
+		})
+	}
+}
+
+// TestLeakFreedomOnCancellation cancels every miner mid-run and checks
+// all workers unwind.
+func TestLeakFreedomOnCancellation(t *testing.T) {
+	leakcheck.Check(t)
+	r, err := Generate(GenerateSpec{Attrs: 10, Rows: 2000, Correlation: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Discover(ctx, r, Options{Workers: 4}); err == nil {
+		t.Error("cancelled Discover succeeded")
+	}
+	if _, err := DiscoverTANE(ctx, r, TANEOptions{}); err == nil {
+		t.Error("cancelled TANE succeeded")
+	}
+	if _, err := DiscoverFastFDs(ctx, r); err == nil {
+		t.Error("cancelled FastFDs succeeded")
+	}
+	if _, err := DiscoverKeys(ctx, r); err == nil {
+		t.Error("cancelled keys succeeded")
+	}
+	if _, err := DiscoverINDs(ctx, []*Relation{r}, INDOptions{}); err == nil {
+		t.Error("cancelled INDs succeeded")
+	}
+}
+
+// TestCancellationReturnsNoPartial pins the other half of the contract:
+// cancellations are NOT governed errors and must not return results.
+func TestCancellationReturnsNoPartial(t *testing.T) {
+	leakcheck.Check(t)
+	r := PaperExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Discover(ctx, r, Options{})
+	if err == nil || res != nil {
+		t.Fatalf("res=%v err=%v, want nil result with error", res, err)
+	}
+	if guard.Governed(err) {
+		t.Errorf("cancellation classified as governed: %v", err)
+	}
+}
