@@ -56,6 +56,7 @@ func benchGrid(b *testing.B, c float64) {
 		for _, attrs := range []int{10, 20} {
 			r := dataset(b, attrs, rows, c)
 			b.Run(fmt.Sprintf("r=%d/R=%d/DepMiner", rows, attrs), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := core.Discover(context.Background(), r, core.Options{
 						Algorithm: core.AgreeCouples, Armstrong: core.ArmstrongNone,
@@ -65,6 +66,7 @@ func benchGrid(b *testing.B, c float64) {
 				}
 			})
 			b.Run(fmt.Sprintf("r=%d/R=%d/DepMiner2", rows, attrs), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := core.Discover(context.Background(), r, core.Options{
 						Algorithm: core.AgreeIdentifiers, Armstrong: core.ArmstrongNone,
@@ -74,6 +76,7 @@ func benchGrid(b *testing.B, c float64) {
 				}
 			})
 			b.Run(fmt.Sprintf("r=%d/R=%d/TANE", rows, attrs), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := tane.Run(context.Background(), r, tane.Options{}); err != nil {
 						b.Fatal(err)
@@ -103,6 +106,7 @@ func benchFigureTime(b *testing.B, c float64) {
 			for _, algo := range []core.AgreeAlgorithm{core.AgreeCouples, core.AgreeIdentifiers} {
 				algo := algo
 				b.Run(fmt.Sprintf("R=%d/r=%d/%s", attrs, rows, algo), func(b *testing.B) {
+					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						if _, err := core.Discover(context.Background(), r, core.Options{
 							Algorithm: algo, Armstrong: core.ArmstrongNone,
@@ -113,6 +117,7 @@ func benchFigureTime(b *testing.B, c float64) {
 				})
 			}
 			b.Run(fmt.Sprintf("R=%d/r=%d/TANE", attrs, rows), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := tane.Run(context.Background(), r, tane.Options{}); err != nil {
 						b.Fatal(err)
@@ -140,6 +145,7 @@ func benchFigureSize(b *testing.B, c float64) {
 		for _, rows := range []int{500, 1000, 2000, 5000} {
 			r := dataset(b, attrs, rows, c)
 			b.Run(fmt.Sprintf("R=%d/r=%d", attrs, rows), func(b *testing.B) {
+				b.ReportAllocs()
 				size := 0
 				for i := 0; i < b.N; i++ {
 					res, err := core.Discover(context.Background(), r, core.Options{
@@ -174,6 +180,7 @@ func BenchmarkAblation_AgreeSets(b *testing.B) {
 	r := dataset(b, 15, 2000, 0.3)
 	db := partition.NewDatabase(r)
 	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := agree.Naive(context.Background(), r); err != nil {
 				b.Fatal(err)
@@ -181,6 +188,7 @@ func BenchmarkAblation_AgreeSets(b *testing.B) {
 		}
 	})
 	b.Run("couples", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := agree.Couples(context.Background(), db, agree.Options{}); err != nil {
 				b.Fatal(err)
@@ -188,6 +196,7 @@ func BenchmarkAblation_AgreeSets(b *testing.B) {
 		}
 	})
 	b.Run("identifiers", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := agree.Identifiers(context.Background(), db, agree.Options{}); err != nil {
 				b.Fatal(err)
@@ -204,6 +213,7 @@ func BenchmarkAblation_ChunkSize(b *testing.B) {
 	db := partition.NewDatabase(r)
 	for _, chunk := range []int{1 << 10, 1 << 14, 1 << 20} {
 		b.Run(strconv.Itoa(chunk), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := agree.Couples(context.Background(), db, agree.Options{ChunkSize: chunk}); err != nil {
 					b.Fatal(err)
@@ -224,6 +234,7 @@ func BenchmarkAblation_SetAsMapKey(b *testing.B) {
 	}
 	sets := res.Sets
 	b.Run("set-key", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m := make(map[attrset.Set]struct{}, len(sets))
 			for _, s := range sets {
@@ -235,6 +246,7 @@ func BenchmarkAblation_SetAsMapKey(b *testing.B) {
 		}
 	})
 	b.Run("string-key", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m := make(map[string]struct{}, len(sets))
 			for _, s := range sets {
@@ -251,6 +263,7 @@ func BenchmarkAblation_SetAsMapKey(b *testing.B) {
 // minimal-transversal search on the cmax hypergraphs of a benchmark
 // relation.
 func BenchmarkAblation_Transversal(b *testing.B) {
+	b.ReportAllocs()
 	r := dataset(b, 20, 2000, 0.3)
 	res, err := agree.FromRelation(context.Background(), r)
 	if err != nil {
@@ -283,6 +296,7 @@ func BenchmarkAblation_TransversalAlgorithm(b *testing.B) {
 		hs[a] = hypergraph.Simplify(ms.CMax[a])
 	}
 	b.Run("levelwise", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, h := range hs {
 				if _, err := h.MinimalTransversals(context.Background()); err != nil {
@@ -292,6 +306,7 @@ func BenchmarkAblation_TransversalAlgorithm(b *testing.B) {
 		}
 	})
 	b.Run("berge", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, h := range hs {
 				if _, err := h.MinimalTransversalsBerge(context.Background()); err != nil {
@@ -305,6 +320,7 @@ func BenchmarkAblation_TransversalAlgorithm(b *testing.B) {
 // BenchmarkAblation_MaximalClasses isolates the MC computation (Lemma 1's
 // enabler) from the rest of step 1.
 func BenchmarkAblation_MaximalClasses(b *testing.B) {
+	b.ReportAllocs()
 	r := dataset(b, 20, 5000, 0.3)
 	db := partition.NewDatabase(r)
 	b.ResetTimer()
@@ -324,6 +340,7 @@ func BenchmarkArmstrongConstruction(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("real-world", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := armstrong.RealWorld(r, res.MaxSets); err != nil {
 				b.Fatal(err)
@@ -331,6 +348,7 @@ func BenchmarkArmstrongConstruction(b *testing.B) {
 		}
 	})
 	b.Run("synthetic", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := armstrong.Synthetic(res.MaxSets, r.Names()); err != nil {
 				b.Fatal(err)
@@ -345,6 +363,7 @@ func BenchmarkArmstrongConstruction(b *testing.B) {
 func BenchmarkExtension_FastFDs(b *testing.B) {
 	r := dataset(b, 20, 2000, 0.3)
 	b.Run("levelwise", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Discover(context.Background(), r, core.Options{
 				Algorithm: core.AgreeIdentifiers, Armstrong: core.ArmstrongNone,
@@ -354,6 +373,7 @@ func BenchmarkExtension_FastFDs(b *testing.B) {
 		}
 	})
 	b.Run("fastfds", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := fastfds.Run(context.Background(), r); err != nil {
 				b.Fatal(err)
@@ -364,6 +384,7 @@ func BenchmarkExtension_FastFDs(b *testing.B) {
 
 // BenchmarkExtension_Keys measures candidate-key discovery.
 func BenchmarkExtension_Keys(b *testing.B) {
+	b.ReportAllocs()
 	r := dataset(b, 15, 2000, 0.3)
 	for i := 0; i < b.N; i++ {
 		if _, err := keys.Discover(context.Background(), r); err != nil {
@@ -375,6 +396,7 @@ func BenchmarkExtension_Keys(b *testing.B) {
 // BenchmarkExtension_IncrementalInsert measures the per-insert cost of
 // the incremental miner on a growing relation.
 func BenchmarkExtension_IncrementalInsert(b *testing.B) {
+	b.ReportAllocs()
 	r := dataset(b, 10, 2000, 0.3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -394,6 +416,7 @@ func BenchmarkExtension_IncrementalInsert(b *testing.B) {
 // BenchmarkExtension_INDs measures inclusion-dependency discovery across
 // two fragments of a benchmark relation.
 func BenchmarkExtension_INDs(b *testing.B) {
+	b.ReportAllocs()
 	r := dataset(b, 10, 2000, 0.3)
 	left := r.Project(attrset.Universe(5)).Deduplicate()
 	right := r.Project(attrset.Universe(10).Diff(attrset.Universe(3))).Deduplicate()
@@ -409,9 +432,11 @@ func BenchmarkExtension_INDs(b *testing.B) {
 // BenchmarkTANEApproximate measures the approximate-dependency mode
 // against exact TANE on the same data.
 func BenchmarkTANEApproximate(b *testing.B) {
+	b.ReportAllocs()
 	r := dataset(b, 12, 2000, 0.5)
 	for _, eps := range []float64{0, 0.01, 0.05} {
 		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := tane.Run(context.Background(), r, tane.Options{Epsilon: eps}); err != nil {
 					b.Fatal(err)
@@ -434,6 +459,7 @@ func BenchmarkDiscoverParallel(b *testing.B) {
 		for _, workers := range []int{1, 2, 4, 8} {
 			workers := workers
 			b.Run(fmt.Sprintf("%s/workers=%d", algo, workers), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := core.Discover(context.Background(), r, core.Options{
 						Algorithm: algo, Armstrong: core.ArmstrongNone, Workers: workers,

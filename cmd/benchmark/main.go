@@ -18,6 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -34,14 +37,95 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker-pool width for the Dep-Miner runs: 0 = all cores, 1 = sequential (results identical, only times change)")
 		csvOut     = flag.String("csv", "", "also append raw cell measurements as CSV to this file")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
 	flag.Parse()
 	ctx, stop := cli.Context()
 	defer stop()
-	if err := run(ctx, *experiment, *full, *timeout, *seed, *workers, *csvOut, *quiet); err != nil {
+	stopProf, err := startProfiles(profileOpts{cpu: *cpuProf, mem: *memProf, trace: *traceOut})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		os.Exit(1)
+	}
+	err = run(ctx, *experiment, *full, *timeout, *seed, *workers, *csvOut, *quiet)
+	// Profiles must be finalised before os.Exit, and written even when the
+	// run fails — a governed overrun is exactly when a profile is wanted.
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(cli.Code(ctx, err))
 	}
+}
+
+// profileOpts names the output files of the requested profilers; empty
+// fields disable the corresponding profiler.
+type profileOpts struct {
+	cpu, mem, trace string
+}
+
+// startProfiles starts the requested CPU profiler and execution tracer
+// and returns a stop function that finishes them and writes the heap
+// profile. The stop function must run before the process exits.
+func startProfiles(o profileOpts) (func() error, error) {
+	var stops []func() error
+	stopAll := func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if o.cpu != "" {
+		f, err := os.Create(o.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
+		if err != nil {
+			stopAll()
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stopAll()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if o.mem != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(o.mem)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialise up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			return f.Close()
+		})
+	}
+	return stopAll, nil
 }
 
 func run(ctx context.Context, id string, full bool, timeout time.Duration, seed uint64, workers int, csvOut string, quiet bool) error {

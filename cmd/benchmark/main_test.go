@@ -74,6 +74,54 @@ func TestProject(t *testing.T) {
 	}
 }
 
+// TestProfileFlags checks that -cpuprofile/-memprofile produce valid
+// pprof files (gzip-compressed protobuf — magic 0x1f 0x8b) and -trace a
+// non-empty execution trace, around a real unit of work.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	trc := filepath.Join(dir, "trace.out")
+	stop, err := startProfiles(profileOpts{cpu: cpu, mem: mem, trace: trc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A real unit of work so the profiles have something to say.
+	if _, err := capture(t, func() error {
+		return run(context.Background(), "list", false, time.Minute, 1, 0, "", true)
+	}); err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s: not a gzip-compressed pprof profile (starts % x)", p, data[:min(4, len(data))])
+		}
+	}
+	data, err := os.ReadFile(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Errorf("%s: empty execution trace", trc)
+	}
+}
+
+// TestProfileFlagsBadPath checks that an uncreatable profile path fails
+// up front instead of half-starting profilers.
+func TestProfileFlagsBadPath(t *testing.T) {
+	if _, err := startProfiles(profileOpts{cpu: filepath.Join(t.TempDir(), "no", "such", "dir", "x")}); err == nil {
+		t.Error("bad cpuprofile path accepted")
+	}
+}
+
 // TestRunTinyExperimentEndToEnd exercises the full path with a shrunken
 // grid by temporarily pointing the quick grid at a micro workload via the
 // experiment machinery (uses figure3, whose grid is the table grid).

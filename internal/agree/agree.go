@@ -28,17 +28,23 @@
 // tuples (which would agree on the full schema R) contributes nothing to
 // ag(r), exactly as if the relation had been deduplicated first.
 //
+// Deduplication is allocation-free on the hot path: couples are encoded
+// into uint64s and encode–sort–compacted, and the agree sets themselves
+// are deduplicated the same way — per-worker sorted slices merged at the
+// end — instead of through hash maps, which profile far behind at
+// benchmark scale (see DESIGN.md §9).
+//
 // Couples and Identifiers parallelise across Options.Workers goroutines
 // by partitioning the couple list; every worker accumulates into a
-// private set map and the merged family is emitted in canonical order, so
-// results are byte-identical for any worker count.
+// private sorted run and the merged family is emitted in canonical order,
+// so results are byte-identical for any worker count.
 package agree
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/attrset"
 	"repro/internal/faultinject"
@@ -50,7 +56,7 @@ import (
 
 // DefaultChunkSize is the default bound on couples materialised at once by
 // the couples algorithm. The paper uses "a threshold (associated to the
-// number of tuples)"; 1<<20 couples ≈ 16 MB of couple state.
+// number of tuples)"; 1<<20 couples ≈ 8 MB of couple state.
 const DefaultChunkSize = 1 << 20
 
 // ErrTooManyCouples reports that Algorithm 2's couple space exceeds the
@@ -91,21 +97,25 @@ type Result struct {
 // the same ag(r) as the deduplicated relation — matching the partition
 // algorithms, which apply the same set semantics.
 func Naive(ctx context.Context, r *relation.Relation) (*Result, error) {
-	seen := make(map[attrset.Set]struct{})
+	var acc setAccum
+	var batch []attrset.Set
 	res := &Result{Chunks: 1}
 	full := attrset.Universe(r.Arity())
 	for i := 0; i < r.Rows(); i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("agree: naive scan cancelled: %w", err)
 		}
+		batch = batch[:0]
 		for j := i + 1; j < r.Rows(); j++ {
 			res.Couples++
 			if s := r.AgreeSet(i, j); s != full {
-				seen[s] = struct{}{}
+				batch = append(batch, s)
 			}
 		}
+		acc.absorb(batch)
 	}
-	res.Sets = familyOf(seen)
+	res.Sets = attrset.Family(acc.sorted)
+	res.Sets.Sort()
 	return res, nil
 }
 
@@ -136,15 +146,18 @@ func (o Options) chunkSize() int {
 	return o.ChunkSize
 }
 
-// couple is an ordered pair of tuple ids (t < u).
-type couple struct{ t, u int }
+// coupleT and coupleU decode an encoded couple: an ordered pair of tuple
+// ids (t < u) packed as t<<32 | u. Keeping couples encoded halves their
+// memory footprint and makes dedup a sort-and-compact over []uint64.
+func coupleT(e uint64) int { return int(e >> 32) }
+func coupleU(e uint64) int { return int(uint32(e)) }
 
-// generateCouples lists the distinct couples of the classes of MC. MC
-// classes may overlap (two maximal classes of different attributes can
-// share tuples), so the same couple can occur in several classes;
-// duplicates are removed by an encode–sort–compact pass, which profiles
-// far ahead of hash-set deduplication at benchmark scale.
-func generateCouples(mc [][]int) []couple {
+// generateCouples lists the distinct couples of the classes of MC,
+// encoded. MC classes may overlap (two maximal classes of different
+// attributes can share tuples), so the same couple can occur in several
+// classes; duplicates are removed by an encode–sort–compact pass, which
+// profiles far ahead of hash-set deduplication at benchmark scale.
+func generateCouples(mc [][]int) []uint64 {
 	total := 0
 	for _, c := range mc {
 		total += len(c) * (len(c) - 1) / 2
@@ -157,25 +170,121 @@ func generateCouples(mc [][]int) []couple {
 			}
 		}
 	}
-	sort.Slice(enc, func(i, j int) bool { return enc[i] < enc[j] })
-	out := make([]couple, 0, len(enc))
-	var prev uint64
-	for i, e := range enc {
-		if i > 0 && e == prev {
-			continue
+	slices.Sort(enc)
+	return slices.Compact(enc)
+}
+
+// setAccum deduplicates agree sets without hashing: batches are sorted,
+// compacted, and merged into one sorted run. The run is kept in raw
+// word order (rawCompare) — an arbitrary but consistent total order
+// whose comparisons cost four word compares, against the canonical
+// Compare's eight popcounts; only the final deduplicated family (far
+// smaller than the batches) is re-sorted canonically, by mergeAccums or
+// the caller. Merges across workers are order-insensitive.
+type setAccum struct {
+	sorted []attrset.Set // deduplicated accumulation, raw word order
+	merged []attrset.Set // scratch buffer the merge writes into
+}
+
+// rawCompare orders sets by their backing words. Zero iff the sets are
+// equal, so compact/merge dedup is exact; the order itself carries no
+// meaning and never reaches callers.
+func rawCompare(a, b attrset.Set) int {
+	for w := 0; w < attrset.Words; w++ {
+		if a[w] != b[w] {
+			if a[w] < b[w] {
+				return -1
+			}
+			return 1
 		}
-		prev = e
-		out = append(out, couple{int(e >> 32), int(uint32(e))})
 	}
+	return 0
+}
+
+// absorb folds an unsorted batch (modified in place) into the run.
+func (ac *setAccum) absorb(batch []attrset.Set) {
+	if len(batch) == 0 {
+		return
+	}
+	slices.SortFunc(batch, rawCompare)
+	batch = slices.Compact(batch)
+	merged := mergeSets(ac.merged[:0], ac.sorted, batch)
+	ac.merged = ac.sorted[:0] // the old run becomes the next scratch
+	ac.sorted = merged
+}
+
+// mergeSets merges two sorted deduplicated runs into dst (which must be
+// empty and must not alias a or b). Equal elements are emitted once.
+func mergeSets(dst, a, b []attrset.Set) []attrset.Set {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch c := rawCompare(a[i], b[j]); {
+		case c < 0:
+			dst = append(dst, a[i])
+			i++
+		case c > 0:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// mergeAccums folds per-worker sorted runs into one deduplicated family
+// and sorts it canonically — the k-way merge replacing the former map
+// union, plus the one canonical sort of the run's final (small) size.
+// Merging is order-insensitive, so the result does not depend on how
+// couples were distributed across workers.
+func mergeAccums(locals []*workerState) attrset.Family {
+	runs := make([][]attrset.Set, 0, len(locals))
+	for _, w := range locals {
+		if len(w.accum.sorted) > 0 {
+			runs = append(runs, w.accum.sorted)
+		}
+	}
+	if len(runs) == 0 {
+		return attrset.Family{}
+	}
+	// Balanced pairwise merging: k-1 two-way merges over sorted runs.
+	for len(runs) > 1 {
+		next := runs[:0]
+		for i := 0; i+1 < len(runs); i += 2 {
+			next = append(next, mergeSets(nil, runs[i], runs[i+1]))
+		}
+		if len(runs)%2 == 1 {
+			next = append(next, runs[len(runs)-1])
+		}
+		runs = next
+	}
+	out := attrset.Family(slices.Clip(runs[0]))
+	out.Sort()
 	return out
+}
+
+// workerState is the per-worker accumulation and scratch reused across
+// every chunk or stride the worker processes.
+type workerState struct {
+	accum setAccum
+	// chunk sweep scratch (Couples only):
+	ag      []attrset.Set // per-couple agree state
+	counts  []int32       // counting layout of couples by first tuple
+	inClass []bool        // per-class membership marks
+	// identifier scratch (Identifiers only):
+	batch []attrset.Set // per-stride batch before absorption
 }
 
 // Couples computes ag(r) with Algorithm 2 (AGREE_SET): couples from MC,
 // swept against every stripped partition, chunked to bound memory. Chunks
 // are independent (each sweeps the partitions for its own couples only),
-// so they are distributed over Options.Workers goroutines; per-worker set
-// maps are merged and emitted in canonical order, making the result
-// independent of worker count and scheduling.
+// so they are distributed over Options.Workers goroutines; per-worker
+// sorted runs are merged and emitted in canonical order, making the
+// result independent of worker count and scheduling.
 func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result, error) {
 	mc := db.MaximalClasses()
 	couples := generateCouples(mc)
@@ -195,9 +304,9 @@ func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result
 	}
 
 	workers := pool.Resolve(opts.Workers)
-	locals := make([]map[attrset.Set]struct{}, workers)
+	locals := make([]*workerState, workers)
 	for w := range locals {
-		locals[w] = make(map[attrset.Set]struct{})
+		locals[w] = &workerState{}
 	}
 	full := attrset.Universe(db.Arity())
 	err := pool.Run(ctx, workers, nChunks, func(_ context.Context, w, t int) error {
@@ -208,19 +317,16 @@ func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result
 			return err
 		}
 		start := t * chunk
-		end := start + chunk
-		if end > len(couples) {
-			end = len(couples)
-		}
-		processChunk(db, couples[start:end], full, locals[w])
+		end := min(start+chunk, len(couples))
+		ws := locals[w]
+		ws.accum.absorb(processChunk(db, couples[start:end], full, ws))
 		return nil
 	})
 	if err != nil {
 		return governedPartial(res, locals, err, "couples scan")
 	}
-	seen := mergeLocals(locals)
-	addEmptyIfUncovered(db, len(couples), seen)
-	res.Sets = familyOf(seen)
+	res.Sets = mergeAccums(locals)
+	res.Sets = addEmptyIfUncovered(db, len(couples), res.Sets)
 	if err := opts.Budget.Charge("agree", len(res.Sets)); err != nil {
 		return res, err
 	}
@@ -233,11 +339,11 @@ func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result
 // returns, so the locals are safe to merge — while cancellations and
 // ordinary errors discard the result as before. The empty-set completion
 // is skipped on the partial path: it is only meaningful for a full sweep.
-func governedPartial(res *Result, locals []map[attrset.Set]struct{}, err error, what string) (*Result, error) {
+func governedPartial(res *Result, locals []*workerState, err error, what string) (*Result, error) {
 	if !guard.Governed(err) {
 		return nil, fmt.Errorf("agree: %s cancelled: %w", what, err)
 	}
-	res.Sets = familyOf(mergeLocals(locals))
+	res.Sets = mergeAccums(locals)
 	return res, err
 }
 
@@ -247,48 +353,64 @@ func governedPartial(res *Result, locals []map[attrset.Set]struct{}, err error, 
 // produced the class, so ∅ can only arise this way. (The paper's Lemma 1
 // elides this case, but its running example lists ∅ ∈ ag(r), and omitting
 // it would make CMAX_SET wrongly emit ∅ → A for non-constant columns when
-// no non-empty agree set avoids A.)
-func addEmptyIfUncovered(db *partition.Database, covered int, seen map[attrset.Set]struct{}) {
+// no non-empty agree set avoids A.) The empty set is the minimum of the
+// canonical order, so insertion is a front check.
+func addEmptyIfUncovered(db *partition.Database, covered int, sets attrset.Family) attrset.Family {
 	total := db.NumRows * (db.NumRows - 1) / 2
-	if covered < total {
-		seen[attrset.Set{}] = struct{}{}
+	if covered >= total {
+		return sets
 	}
+	if len(sets) > 0 && sets[0].IsEmpty() {
+		return sets
+	}
+	return append(attrset.Family{attrset.Empty()}, sets...)
 }
 
 // processChunk runs lines 10–21 of Algorithm 2 for one chunk of couples:
 // for each stripped partition and each of its classes, add the attribute
 // to the agree set of every chunk couple lying inside the class. Agree
 // sets equal to full (the whole schema, i.e. duplicate-tuple couples) are
-// dropped: set semantics. It reads db and writes only chunk-local state
-// plus seen, so concurrent calls are safe on disjoint seen maps.
+// dropped: set semantics. It reads db and writes only worker-local
+// scratch, so concurrent calls on distinct workerStates are safe. The
+// returned batch aliases ws.ag and is valid until the next call.
 //
 // To keep the per-class couple lookup sub-quadratic, couples are indexed by
 // their first tuple: for a class c and each t ∈ c, only couples starting at
 // t are probed, and membership of the partner is tested with a per-class
 // mark table — an indexing refinement of the paper's "if t ∈ c and t' ∈ c".
-func processChunk(db *partition.Database, chunk []couple, full attrset.Set, seen map[attrset.Set]struct{}) {
-	// ag state for the chunk.
-	ag := make([]attrset.Set, len(chunk))
-	// Index couples by first tuple: byFirst[t] slices into couple
-	// indices. chunk arrives sorted by (t, u) from generateCouples, so a
-	// counting layout avoids per-tuple allocations.
-	counts := make([]int32, db.NumRows+1)
+func processChunk(db *partition.Database, chunk []uint64, full attrset.Set, ws *workerState) []attrset.Set {
+	// ag state for the chunk, reset to ∅.
+	if cap(ws.ag) < len(chunk) {
+		ws.ag = make([]attrset.Set, len(chunk))
+	}
+	ag := ws.ag[:len(chunk)]
+	clear(ag)
+	// Index couples by first tuple: counts[t]..counts[t+1] slices into
+	// couple indices. chunk arrives sorted by (t, u) from
+	// generateCouples, so a counting layout avoids per-tuple allocations.
+	if cap(ws.counts) < db.NumRows+1 {
+		ws.counts = make([]int32, db.NumRows+1)
+		ws.inClass = make([]bool, db.NumRows)
+	}
+	counts := ws.counts[:db.NumRows+1]
+	clear(counts)
+	inClass := ws.inClass[:db.NumRows]
 	for _, cp := range chunk {
-		counts[cp.t+1]++
+		counts[coupleT(cp)+1]++
 	}
 	for t := 0; t < db.NumRows; t++ {
 		counts[t+1] += counts[t]
 	}
-	inClass := make([]bool, db.NumRows)
 	for a, p := range db.Attr {
-		for _, cls := range p.Classes {
+		for ci, nc := 0, p.NumClasses(); ci < nc; ci++ {
+			cls := p.Class(ci)
 			for _, t := range cls {
 				inClass[t] = true
 			}
 			for _, t := range cls {
-				for ci := counts[t]; ci < counts[t+1]; ci++ {
-					if inClass[chunk[ci].u] {
-						ag[ci].Add(a)
+				for k := counts[t]; k < counts[t+1]; k++ {
+					if inClass[coupleU(chunk[k])] {
+						ag[k].Add(a)
 					}
 				}
 			}
@@ -297,24 +419,14 @@ func processChunk(db *partition.Database, chunk []couple, full attrset.Set, seen
 			}
 		}
 	}
-	for i := range ag {
-		if ag[i] != full {
-			seen[ag[i]] = struct{}{}
+	// Drop full-schema couples (duplicate rows) in place.
+	batch := ag[:0]
+	for _, s := range ag {
+		if s != full {
+			batch = append(batch, s)
 		}
 	}
-}
-
-// mergeLocals folds per-worker set maps into the first one. Map union is
-// order-insensitive, so the merged contents do not depend on how couples
-// were distributed across workers.
-func mergeLocals(locals []map[attrset.Set]struct{}) map[attrset.Set]struct{} {
-	seen := locals[0]
-	for _, l := range locals[1:] {
-		for s := range l {
-			seen[s] = struct{}{}
-		}
-	}
-	return seen
+	return batch
 }
 
 // identifierStride is the number of couples one parallel Identifiers task
@@ -327,20 +439,35 @@ const identifierStride = 1 << 13
 // It is the "Dep-Miner 2" variant of the evaluation, more efficient when
 // equivalence classes are large or numerous. The couple list is split
 // into fixed strides distributed over Options.Workers goroutines, with
-// per-worker set maps merged in canonical order (deterministic output for
-// any worker count).
+// per-worker sorted runs merged in canonical order (deterministic output
+// for any worker count).
 func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Result, error) {
-	// ecAttr[t] lists, in increasing attribute order, the attributes A for
-	// which t lies in some class of π̂_A, and ecID[t] the class index
-	// within that partition. Intersecting two tuples' lists by attribute
-	// and comparing class ids implements (A,i) ∈ ec(t) ∩ ec(t').
-	ecAttr := make([][]int32, db.NumRows)
-	ecID := make([][]int32, db.NumRows)
+	// ec[t] lists, in increasing attribute order, the (attribute, class
+	// id) pairs for which t lies in some class of π̂_A, encoded a<<32|id
+	// in one flat arena sliced per tuple. Intersecting two tuples' lists
+	// by attribute and comparing class ids implements (A,i) ∈ ec(t) ∩
+	// ec(t'). The arena is laid out by a counting pass, so building it
+	// costs three allocations regardless of |r| or |R|.
+	ecOff := make([]int32, db.NumRows+1)
+	for _, p := range db.Attr {
+		for ci, nc := 0, p.NumClasses(); ci < nc; ci++ {
+			for _, t := range p.Class(ci) {
+				ecOff[t+1]++
+			}
+		}
+	}
+	for t := 0; t < db.NumRows; t++ {
+		ecOff[t+1] += ecOff[t]
+	}
+	ec := make([]uint64, ecOff[db.NumRows])
+	cursor := make([]int32, db.NumRows)
 	for a, p := range db.Attr {
-		for i, cls := range p.Classes {
-			for _, t := range cls {
-				ecAttr[t] = append(ecAttr[t], int32(a))
-				ecID[t] = append(ecID[t], int32(i))
+		for ci, nc := 0, p.NumClasses(); ci < nc; ci++ {
+			for _, t := range p.Class(ci) {
+				// Attributes are visited in increasing order, so each
+				// tuple's list is built sorted by attribute.
+				ec[ecOff[t]+cursor[t]] = uint64(a)<<32 | uint64(uint32(ci))
+				cursor[t]++
 			}
 		}
 	}
@@ -353,9 +480,9 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 	}
 
 	workers := pool.Resolve(opts.Workers)
-	locals := make([]map[attrset.Set]struct{}, workers)
+	locals := make([]*workerState, workers)
 	for w := range locals {
-		locals[w] = make(map[attrset.Set]struct{})
+		locals[w] = &workerState{}
 	}
 	full := attrset.Universe(db.Arity())
 	tasks := (len(couples) + identifierStride - 1) / identifierStride
@@ -367,11 +494,9 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 			return err
 		}
 		start := t * identifierStride
-		end := start + identifierStride
-		if end > len(couples) {
-			end = len(couples)
-		}
-		seen := locals[w]
+		end := min(start+identifierStride, len(couples))
+		ws := locals[w]
+		batch := ws.batch[:0]
 		for i, cp := range couples[start:end] {
 			if i&0xFFF == 0 {
 				if err := taskCtx.Err(); err != nil {
@@ -379,35 +504,37 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 				}
 			}
 			var s attrset.Set
-			at, it := ecAttr[cp.t], ecID[cp.t]
-			au, iu := ecAttr[cp.u], ecID[cp.u]
+			et := ec[ecOff[coupleT(cp)]:ecOff[coupleT(cp)+1]]
+			eu := ec[ecOff[coupleU(cp)]:ecOff[coupleU(cp)+1]]
 			x, y := 0, 0
-			for x < len(at) && y < len(au) {
+			for x < len(et) && y < len(eu) {
+				at, au := et[x]>>32, eu[y]>>32
 				switch {
-				case at[x] < au[y]:
+				case at < au:
 					x++
-				case at[x] > au[y]:
+				case at > au:
 					y++
 				default:
-					if it[x] == iu[y] {
-						s.Add(int(at[x]))
+					if uint32(et[x]) == uint32(eu[y]) {
+						s.Add(int(at))
 					}
 					x++
 					y++
 				}
 			}
 			if s != full {
-				seen[s] = struct{}{}
+				batch = append(batch, s)
 			}
 		}
+		ws.batch = batch
+		ws.accum.absorb(batch)
 		return nil
 	})
 	if err != nil {
 		return governedPartial(res, locals, err, "identifier scan")
 	}
-	seen := mergeLocals(locals)
-	addEmptyIfUncovered(db, len(couples), seen)
-	res.Sets = familyOf(seen)
+	res.Sets = mergeAccums(locals)
+	res.Sets = addEmptyIfUncovered(db, len(couples), res.Sets)
 	if err := opts.Budget.Charge("agree", len(res.Sets)); err != nil {
 		return res, err
 	}
@@ -418,13 +545,4 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 // runs the identifier algorithm (the more scalable default).
 func FromRelation(ctx context.Context, r *relation.Relation) (*Result, error) {
 	return Identifiers(ctx, partition.NewDatabase(r), Options{})
-}
-
-func familyOf(seen map[attrset.Set]struct{}) attrset.Family {
-	out := make(attrset.Family, 0, len(seen))
-	for s := range seen {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out
 }

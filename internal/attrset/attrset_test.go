@@ -2,7 +2,7 @@ package attrset
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -170,7 +170,7 @@ func TestWithWithout(t *testing.T) {
 func TestAttrsAndForEachOrder(t *testing.T) {
 	in := []int{200, 3, 64, 0, 127}
 	s := New(in...)
-	sort.Ints(in)
+	slices.Sort(in)
 	got := s.Attrs()
 	if len(got) != len(in) {
 		t.Fatalf("Attrs len = %d, want %d", len(got), len(in))

@@ -1,6 +1,6 @@
 package attrset
 
-import "sort"
+import "slices"
 
 // Family is an ordered collection of attribute sets with helpers for the
 // Max⊆ / Min⊆ operators the paper uses (maximal equivalence classes,
@@ -9,12 +9,12 @@ type Family []Set
 
 // Sort orders the family canonically (by cardinality, then lexicographic).
 func (f Family) Sort() {
-	sort.Slice(f, func(i, j int) bool { return f[i].Compare(f[j]) < 0 })
+	slices.SortFunc(f, Set.Compare)
 }
 
 // SortLex orders the family lexicographically by element sequence.
 func (f Family) SortLex() {
-	sort.Slice(f, func(i, j int) bool { return f[i].CompareLex(f[j]) < 0 })
+	slices.SortFunc(f, Set.CompareLex)
 }
 
 // Dedup returns f with duplicate sets removed. Order of first occurrences
@@ -72,7 +72,7 @@ func (f Family) Equal(g Family) bool {
 // needs comparing against already-accepted (larger or equal) sets.
 func (f Family) Maximal() Family {
 	in := f.Dedup()
-	sort.Slice(in, func(i, j int) bool { return in[i].Compare(in[j]) > 0 })
+	slices.SortFunc(in, func(a, b Set) int { return b.Compare(a) })
 	out := make(Family, 0, len(in))
 	for _, s := range in {
 		dominated := false
@@ -94,7 +94,7 @@ func (f Family) Maximal() Family {
 // Maximal. The result is in canonical order.
 func (f Family) Minimal() Family {
 	in := f.Dedup()
-	sort.Slice(in, func(i, j int) bool { return in[i].Compare(in[j]) < 0 })
+	slices.SortFunc(in, Set.Compare)
 	out := make(Family, 0, len(in))
 	for _, s := range in {
 		dominates := false

@@ -2,7 +2,7 @@ package bench
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 )
@@ -232,7 +232,7 @@ func writeAligned(b *strings.Builder, rows [][]string) {
 	for i := range widths {
 		cols = append(cols, i)
 	}
-	sort.Ints(cols)
+	slices.Sort(cols)
 	for _, row := range rows {
 		for i, cell := range row {
 			if i > 0 {

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/agree"
@@ -160,6 +161,58 @@ func (t Timings) Total() time.Duration {
 	return t.Partition + t.AgreeSets + t.MaxSets + t.LHS + t.Armstrong
 }
 
+// PhaseStat records one pipeline phase's cost: wall-clock duration plus
+// the heap-allocation delta (objects and bytes) observed across the
+// phase. The counters are process-wide (runtime.MemStats cumulative
+// totals), so concurrent work outside the pipeline is attributed to
+// whatever phase was running — exact in the common case of one
+// discovery at a time, indicative otherwise.
+type PhaseStat struct {
+	Duration time.Duration
+	Allocs   uint64 // heap objects allocated during the phase
+	Bytes    uint64 // heap bytes allocated during the phase
+}
+
+// Stats holds per-phase cost counters, letting the benchmark harness
+// attribute time and allocations to pipeline steps without an external
+// profiler. Durations duplicate Timings (kept for compatibility).
+type Stats struct {
+	Partition PhaseStat // stripped partition database extraction
+	AgreeSets PhaseStat // step 1
+	MaxSets   PhaseStat // step 2
+	LHS       PhaseStat // steps 3–4
+	Armstrong PhaseStat // step 5
+}
+
+// phaseProbe captures the start-of-phase clock and allocation counters.
+// ReadMemStats flushes the per-P allocation caches, so the deltas are
+// exact even for phases that allocate little; its brief stop-the-world
+// costs microseconds per phase boundary, noise against any phase worth
+// measuring.
+type phaseProbe struct {
+	t0      time.Time
+	mallocs uint64
+	bytes   uint64
+}
+
+func startPhase() phaseProbe {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return phaseProbe{t0: time.Now(), mallocs: m.Mallocs, bytes: m.TotalAlloc}
+}
+
+// stop returns the phase's cost since startPhase.
+func (p phaseProbe) stop() PhaseStat {
+	d := time.Since(p.t0)
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return PhaseStat{
+		Duration: d,
+		Allocs:   m.Mallocs - p.mallocs,
+		Bytes:    m.TotalAlloc - p.bytes,
+	}
+}
+
 // Result is the outcome of a Dep-Miner run.
 type Result struct {
 	// FDs is the canonical cover: every minimal non-trivial FD X → A of
@@ -184,6 +237,9 @@ type Result struct {
 	Couples, Chunks int
 	// Timings records per-step durations.
 	Timings Timings
+	// Stats records per-step durations together with heap-allocation
+	// deltas, for cost attribution without an external profiler.
+	Stats Stats
 	// Partial reports that the run stopped early — budget or deadline
 	// overrun, or a contained panic — and the Result holds only the
 	// phases completed before the cutoff. A partial Result is always
@@ -228,7 +284,7 @@ func Discover(ctx context.Context, r *relation.Relation, opts Options) (res *Res
 	defer contain("core.Discover", res, &err)
 
 	// Step 1: AGREE_SET.
-	t0 := time.Now()
+	pp := startPhase()
 	var agr *agree.Result
 	if opts.Algorithm == AgreeNaive {
 		if ferr := faultinject.Fire(faultinject.CoreAgree); ferr != nil {
@@ -238,23 +294,26 @@ func Discover(ctx context.Context, r *relation.Relation, opts Options) (res *Res
 		if err != nil {
 			return fail(res, err)
 		}
-		res.Timings.AgreeSets = time.Since(t0)
+		res.Stats.AgreeSets = pp.stop()
+		res.Timings.AgreeSets = res.Stats.AgreeSets.Duration
 	} else {
 		if ferr := faultinject.Fire(faultinject.CorePartition); ferr != nil {
 			return fail(res, ferr)
 		}
 		db := partition.NewDatabase(r)
-		res.Timings.Partition = time.Since(t0)
+		res.Stats.Partition = pp.stop()
+		res.Timings.Partition = res.Stats.Partition.Duration
 		if cerr := opts.Budget.Checkpoint("partition"); cerr != nil {
 			return fail(res, cerr)
 		}
-		t0 = time.Now()
+		pp = startPhase()
 		agr, err = agreeSets(ctx, db, opts, res)
 		if err != nil {
 			adoptAgree(res, agr)
 			return fail(res, err)
 		}
-		res.Timings.AgreeSets = time.Since(t0)
+		res.Stats.AgreeSets = pp.stop()
+		res.Timings.AgreeSets = res.Stats.AgreeSets.Duration
 	}
 
 	// Steps 2–4.
@@ -270,14 +329,15 @@ func Discover(ctx context.Context, r *relation.Relation, opts Options) (res *Res
 		if cerr := opts.Budget.Checkpoint("armstrong"); cerr != nil {
 			return fail(res, cerr)
 		}
-		t0 = time.Now()
+		pp = startPhase()
 		arm, synthetic, aerr := buildArmstrong(r, res.MaxSets, opts.Armstrong)
 		if aerr != nil {
 			return fail(res, aerr)
 		}
 		res.Armstrong = arm
 		res.ArmstrongSynthetic = synthetic
-		res.Timings.Armstrong = time.Since(t0)
+		res.Stats.Armstrong = pp.stop()
+		res.Timings.Armstrong = res.Stats.Armstrong.Duration
 	}
 	return res, nil
 }
@@ -293,13 +353,14 @@ func DiscoverFromDatabase(ctx context.Context, db *partition.Database, opts Opti
 	}
 	res = &Result{}
 	defer contain("core.DiscoverFromDatabase", res, &err)
-	t0 := time.Now()
+	pp := startPhase()
 	agr, aerr := agreeSets(ctx, db, opts, res)
 	if aerr != nil {
 		adoptAgree(res, agr)
 		return fail(res, aerr)
 	}
-	res.Timings.AgreeSets = time.Since(t0)
+	res.Stats.AgreeSets = pp.stop()
+	res.Timings.AgreeSets = res.Stats.AgreeSets.Duration
 	if derr := deriveFDs(ctx, agr, db.Arity(), opts, res); derr != nil {
 		return fail(res, derr)
 	}
@@ -368,10 +429,11 @@ func deriveFDs(ctx context.Context, agr *agree.Result, arity int, opts Options, 
 	if cerr := opts.Budget.Checkpoint("maxsets"); cerr != nil {
 		return cerr
 	}
-	t0 := time.Now()
+	pp := startPhase()
 	ms := maxsets.Compute(res.AgreeSets, arity)
 	res.MaxSets = ms.AllMax()
-	res.Timings.MaxSets = time.Since(t0)
+	res.Stats.MaxSets = pp.stop()
+	res.Timings.MaxSets = res.Stats.MaxSets.Duration
 
 	// Steps 3–4: LEFT_HAND_SIDE then FD_OUTPUT. The per-attribute searches
 	// Tr(cmax(dep(r),A)) are independent, so they fan out one task per RHS
@@ -384,7 +446,7 @@ func deriveFDs(ctx context.Context, agr *agree.Result, arity int, opts Options, 
 	if cerr := opts.Budget.Checkpoint("lhs"); cerr != nil {
 		return cerr
 	}
-	t0 = time.Now()
+	pp = startPhase()
 	hs := make([]*hypergraph.Hypergraph, arity)
 	for a := 0; a < arity; a++ {
 		hs[a] = hypergraph.Simplify(ms.CMax[a])
@@ -403,7 +465,8 @@ func deriveFDs(ctx context.Context, agr *agree.Result, arity int, opts Options, 
 		}
 	}
 	res.FDs.Sort()
-	res.Timings.LHS = time.Since(t0)
+	res.Stats.LHS = pp.stop()
+	res.Timings.LHS = res.Stats.LHS.Duration
 	return nil
 }
 

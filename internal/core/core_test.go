@@ -288,3 +288,35 @@ func TestPropertyDiscoverMatchesBruteForce(t *testing.T) {
 		}
 	}
 }
+
+// TestResultStats checks that every pipeline phase reports its cost in
+// Result.Stats and that the durations mirror Result.Timings.
+func TestResultStats(t *testing.T) {
+	r := relation.PaperExample()
+	res, err := Discover(context.Background(), r, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	phases := map[string]PhaseStat{
+		"Partition": s.Partition,
+		"AgreeSets": s.AgreeSets,
+		"MaxSets":   s.MaxSets,
+		"LHS":       s.LHS,
+		"Armstrong": s.Armstrong,
+	}
+	for name, ps := range phases {
+		if ps.Duration <= 0 {
+			t.Errorf("Stats.%s.Duration = %v, want > 0", name, ps.Duration)
+		}
+		if ps.Allocs == 0 || ps.Bytes == 0 {
+			t.Errorf("Stats.%s allocs/bytes = %d/%d, want > 0", name, ps.Allocs, ps.Bytes)
+		}
+	}
+	tm := res.Timings
+	if tm.Partition != s.Partition.Duration || tm.AgreeSets != s.AgreeSets.Duration ||
+		tm.MaxSets != s.MaxSets.Duration || tm.LHS != s.LHS.Duration ||
+		tm.Armstrong != s.Armstrong.Duration {
+		t.Errorf("Timings %+v do not mirror Stats durations", tm)
+	}
+}

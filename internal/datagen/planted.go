@@ -2,7 +2,7 @@ package datagen
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/attrset"
 	"repro/internal/fd"
@@ -125,7 +125,7 @@ func topoOrder(planted map[int]attrset.Set) ([]int, error) {
 	for rhs := range planted {
 		rhss = append(rhss, rhs)
 	}
-	sort.Ints(rhss)
+	slices.Sort(rhss)
 	for _, rhs := range rhss {
 		if err := visit(rhs); err != nil {
 			return nil, err

@@ -27,7 +27,7 @@ package fastfds
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/agree"
@@ -222,11 +222,11 @@ func orderByCoverage(attrs []attrset.Attr, diff attrset.Family) []attrset.Attr {
 			rs = append(rs, ranked{a, n})
 		}
 	}
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].count != rs[j].count {
-			return rs[i].count > rs[j].count
+	slices.SortFunc(rs, func(x, y ranked) int {
+		if x.count != y.count {
+			return y.count - x.count
 		}
-		return rs[i].a < rs[j].a
+		return x.a - y.a
 	})
 	out := make([]attrset.Attr, len(rs))
 	for i, r := range rs {

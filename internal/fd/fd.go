@@ -12,7 +12,7 @@ package fd
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/attrset"
@@ -60,7 +60,7 @@ type Cover []FD
 
 // Sort orders the cover deterministically (by RHS, then LHS).
 func (c Cover) Sort() {
-	sort.Slice(c, func(i, j int) bool { return c[i].Compare(c[j]) < 0 })
+	slices.SortFunc(c, FD.Compare)
 }
 
 // Dedup returns the cover without duplicate FDs, preserving first

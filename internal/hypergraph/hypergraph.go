@@ -127,6 +127,15 @@ func (h *Hypergraph) MinimalTransversals(ctx context.Context) (attrset.Family, e
 // which is exactly the search's memory footprint — against the budget,
 // and passes a deadline checkpoint, so a combinatorial blow-up of the
 // levelwise search is stopped within one level of crossing the limit.
+//
+// The search keeps no hash maps: a level is a lexicographically sorted
+// candidate slice (the Apriori join emits candidates already in that
+// order, so prefix groups are contiguous runs and the subset test is a
+// binary search), and the per-candidate edge-cover bitmaps live in one
+// arena per level instead of one allocation per candidate. Set operations
+// are bounded by the hypergraph's active word count — the number of
+// attrset words its vertices actually occupy — so a 10-attribute schema
+// pays for 64 bits per operation, not attrset.MaxAttrs.
 func (h *Hypergraph) MinimalTransversalsGoverned(ctx context.Context, b *guard.Budget) (attrset.Family, error) {
 	if len(h.edges) == 0 {
 		return attrset.Family{attrset.Empty()}, nil
@@ -137,102 +146,147 @@ func (h *Hypergraph) MinimalTransversalsGoverned(ctx context.Context, b *guard.B
 	for e := 0; e < ne; e++ {
 		full[e>>6] |= 1 << uint(e&63)
 	}
-	// vertexCover[a] = bitmap of edges containing vertex a.
-	vertexCover := make(map[attrset.Attr][]uint64)
+	verts := h.Vertices()
+	// aw is the active attrset word count: trailing all-zero words of any
+	// candidate set are skipped by every union/compare below.
+	aw := verts.Max()>>6 + 1
+	// vcArena[a*words:(a+1)*words] = bitmap of edges containing vertex a.
+	vcArena := make([]uint64, (verts.Max()+1)*words)
 	for e, edge := range h.edges {
 		edge.ForEach(func(a attrset.Attr) {
-			vc := vertexCover[a]
-			if vc == nil {
-				vc = make([]uint64, words)
-				vertexCover[a] = vc
-			}
-			vc[e>>6] |= 1 << uint(e&63)
+			vcArena[a*words+e>>6] |= 1 << uint(e&63)
 		})
 	}
-
-	type cand struct {
-		set   attrset.Set
-		cover []uint64
-	}
 	covers := func(c []uint64) bool {
-		for i := range c {
-			if c[i] != full[i] {
+		for i, w := range full {
+			if c[i] != w {
 				return false
 			}
 		}
 		return true
 	}
 
-	// L1: the vertices appearing in edges, as singletons.
-	var level []cand
-	h.Vertices().ForEach(func(a attrset.Attr) {
-		level = append(level, cand{set: attrset.Single(a), cover: vertexCover[a]})
+	// L1: the vertices appearing in edges, as singletons — ascending
+	// vertex order is lexicographic order for singletons.
+	var cands []attrset.Set
+	arena := make([]uint64, 0, verts.Len()*words)
+	verts.ForEach(func(a attrset.Attr) {
+		cands = append(cands, attrset.Single(a))
+		arena = append(arena, vcArena[a*words:(a+1)*words]...)
 	})
 
 	var out attrset.Family
-	surviving := make(map[attrset.Set]struct{})
-	for len(level) > 0 {
+	var nextCands []attrset.Set
+	var nextArena []uint64
+	for len(cands) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("hypergraph: transversal search cancelled: %w", err)
 		}
 		if err := faultinject.Fire(faultinject.HypergraphLevel); err != nil {
 			return nil, err
 		}
-		if err := b.Charge("lhs", len(level)); err != nil {
+		if err := b.Charge("lhs", len(cands)); err != nil {
 			return nil, err
 		}
-		var survivors []cand
-		clear(surviving)
-		for _, c := range level {
-			if covers(c.cover) {
-				out = append(out, c.set)
-			} else {
-				survivors = append(survivors, c)
-				surviving[c.set] = struct{}{}
+		// Emit transversals; compact the surviving non-transversals (and
+		// their covers) to the front in place, preserving sorted order.
+		keep := 0
+		for i, s := range cands {
+			cover := arena[i*words : (i+1)*words]
+			if covers(cover) {
+				out = append(out, s)
+				continue
 			}
+			cands[keep] = s
+			copy(arena[keep*words:(keep+1)*words], cover)
+			keep++
 		}
-		// Apriori join: group survivors by prefix (set minus its largest
-		// element); a joined candidate is prefix + two larger vertices,
-		// so each candidate arises from exactly one (prefix, pair).
-		byPrefix := make(map[attrset.Set][]cand)
-		for _, c := range survivors {
-			last := c.set.Max()
-			p := c.set.Without(last)
-			byPrefix[p] = append(byPrefix[p], c)
-		}
-		level = level[:0]
-		for _, members := range byPrefix {
-			for i := 0; i < len(members); i++ {
-				for j := i + 1; j < len(members); j++ {
-					u := members[i].set.Union(members[j].set)
-					if !apriori(u, surviving) {
+		cands = cands[:keep]
+		// Apriori join over contiguous prefix runs: survivors sharing all
+		// but their largest vertex are adjacent in lexicographic order,
+		// and each joined candidate arises from exactly one (prefix,
+		// pair), emitted in lexicographic order again — so the next level
+		// is sorted and duplicate-free by construction.
+		nextCands = nextCands[:0]
+		nextArena = nextArena[:0]
+		for lo := 0; lo < keep; {
+			prefix := cands[lo].Without(cands[lo].Max())
+			hi := lo + 1
+			for hi < keep && cands[hi].Without(cands[hi].Max()) == prefix {
+				hi++
+			}
+			for i := lo; i < hi; i++ {
+				for j := i + 1; j < hi; j++ {
+					u := unionW(cands[i], cands[j], aw)
+					if !apriori(u, cands, aw) {
 						continue
 					}
-					cover := make([]uint64, words)
-					for w := range cover {
-						cover[w] = members[i].cover[w] | members[j].cover[w]
+					nextCands = append(nextCands, u)
+					ci := arena[i*words : (i+1)*words]
+					cj := arena[j*words : (j+1)*words]
+					for w := 0; w < words; w++ {
+						nextArena = append(nextArena, ci[w]|cj[w])
 					}
-					level = append(level, cand{set: u, cover: cover})
 				}
 			}
+			lo = hi
 		}
+		cands, nextCands = nextCands, cands
+		arena, nextArena = nextArena, arena
 	}
 	out.Sort()
 	return out, nil
 }
 
-// apriori reports whether every (|cand|-1)-subset of cand is a surviving
-// non-transversal. Any subset that was emitted as a minimal transversal,
-// or never generated, disqualifies cand: its supersets cannot be minimal
-// transversals (or were already pruned).
-func apriori(cand attrset.Set, surviving map[attrset.Set]struct{}) bool {
-	ok := true
-	cand.ForEach(func(a attrset.Attr) {
-		if _, in := surviving[cand.Without(a)]; !in {
-			ok = false
+// unionW returns a ∪ b touching only the first aw words; the rest are
+// zero for every set in a transversal search over aw active words.
+func unionW(a, b attrset.Set, aw int) attrset.Set {
+	var u attrset.Set
+	for w := 0; w < aw; w++ {
+		u[w] = a[w] | b[w]
+	}
+	return u
+}
+
+// lexCmpW orders equal-cardinality sets lexicographically by element
+// sequence, touching only the first aw words: the set containing the
+// smallest element of the symmetric difference sorts first. (For sets of
+// the same size this coincides with attrset.CompareLex; proper-prefix
+// cases cannot arise.)
+func lexCmpW(a, b attrset.Set, aw int) int {
+	for w := 0; w < aw; w++ {
+		if d := a[w] ^ b[w]; d != 0 {
+			if a[w]&(d&-d) != 0 {
+				return -1
+			}
+			return 1
 		}
-	})
-	return ok
+	}
+	return 0
+}
+
+// apriori reports whether every (|cand|-1)-subset of cand is a surviving
+// non-transversal, by binary search in the sorted survivor slice. Any
+// subset that was emitted as a minimal transversal, or never generated,
+// disqualifies cand: its supersets cannot be minimal transversals (or
+// were already pruned).
+func apriori(cand attrset.Set, surviving []attrset.Set, aw int) bool {
+	for a := cand.Min(); a >= 0; a = cand.Next(a) {
+		sub := cand.Without(a)
+		lo, hi := 0, len(surviving)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if lexCmpW(surviving[mid], sub, aw) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(surviving) || surviving[lo] != sub {
+			return false
+		}
+	}
+	return true
 }
 
 // Transversal computes Tr(H) and verifies the result is itself simple,

@@ -23,7 +23,7 @@ package ind
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/faultinject"
@@ -334,7 +334,7 @@ func canonical(d IND) IND {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return d.LHS[idx[a]].Attr < d.LHS[idx[b]].Attr })
+	slices.SortFunc(idx, func(a, b int) int { return d.LHS[a].Attr - d.LHS[b].Attr })
 	out := IND{}
 	for _, i := range idx {
 		out.LHS = append(out.LHS, d.LHS[i])
@@ -381,11 +381,11 @@ func holds(rels []*relation.Relation, d IND) bool {
 }
 
 func sortINDs(ds []IND) {
-	sort.Slice(ds, func(i, j int) bool {
-		if ds[i].Arity() != ds[j].Arity() {
-			return ds[i].Arity() < ds[j].Arity()
+	slices.SortFunc(ds, func(a, b IND) int {
+		if a.Arity() != b.Arity() {
+			return a.Arity() - b.Arity()
 		}
-		return key(ds[i]) < key(ds[j])
+		return strings.Compare(key(a), key(b))
 	})
 }
 

@@ -20,7 +20,7 @@ package normalize
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/attrset"
 	"repro/internal/fd"
@@ -71,7 +71,7 @@ func ThreeNF(cover fd.Cover, arity int) *Decomposition {
 		}
 		groups[f.LHS] = groups[f.LHS].With(f.RHS)
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].Compare(order[j]) < 0 })
+	slices.SortFunc(order, attrset.Set.Compare)
 
 	var schemas []Schema
 	for _, lhs := range order {
@@ -154,7 +154,7 @@ func BCNF(cover fd.Cover, arity int) (*Decomposition, error) {
 		rec(attrset.Universe(arity))
 	}
 	out = dropContained(out)
-	sort.Slice(out, func(i, j int) bool { return out[i].Attrs.Compare(out[j].Attrs) < 0 })
+	slices.SortFunc(out, func(a, b Schema) int { return a.Attrs.Compare(b.Attrs) })
 	return &Decomposition{Schemas: out, Keys: keys}, nil
 }
 

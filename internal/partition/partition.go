@@ -8,10 +8,17 @@
 // classes. A *stripped* partition π̂_X drops the singleton classes — a
 // tuple alone in its class agrees with no other tuple, so it can never
 // contribute to an agree set or violate an FD.
+//
+// Partitions are stored flat: one shared row store holding the tuple ids
+// of every class back to back, plus per-class offsets. A discovery run
+// touches millions of equivalence classes (every partition product makes
+// new ones), so the layout matters: the flat store costs two allocations
+// per partition instead of one per class, and iterating classes walks one
+// contiguous array (see DESIGN.md §9).
 package partition
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/attrset"
 	"repro/internal/relation"
@@ -21,30 +28,74 @@ import (
 // some attribute set over a relation of NumRows tuples. Classes hold tuple
 // indices in increasing order; classes are ordered by their smallest tuple
 // index, so a Partition has one canonical representation.
+//
+// The classes live in a flat layout — one shared row store plus class
+// offsets — accessed through NumClasses and Class.
 type Partition struct {
-	// Classes are the stripped equivalence classes.
-	Classes [][]int
+	// rows is the shared row store: tuple ids of all classes back to back,
+	// each class contiguous and ascending, classes ordered by first tuple.
+	rows []int
+	// offs are the class boundaries: class i is rows[offs[i]:offs[i+1]].
+	// Empty when the partition has no stripped classes.
+	offs []int32
 	// NumRows is |r|, needed to recover singleton counts and error
 	// measures without the relation.
 	NumRows int
 }
 
 // Single computes the stripped partition π̂_A for one attribute directly
-// from the relation's dictionary codes. Cost: O(|r|).
+// from the relation's dictionary codes. Cost: O(|r| + |dom(A)|), with
+// exactly four allocations regardless of the number of classes.
 func Single(r *relation.Relation, a attrset.Attr) *Partition {
 	col := r.Column(a)
-	// Dictionary codes are dense in [0, DomainSize), so bucket by code.
-	buckets := make([][]int, r.DomainSize(a))
-	for t, c := range col {
-		buckets[c] = append(buckets[c], t)
-	}
+	dom := r.DomainSize(a)
 	p := &Partition{NumRows: r.Rows()}
-	for _, b := range buckets {
-		if len(b) > 1 {
-			p.Classes = append(p.Classes, b)
+	if dom == 0 {
+		return p
+	}
+	// Count occurrences per dictionary code.
+	counts := make([]int32, dom)
+	for _, c := range col {
+		counts[c]++
+	}
+	nc, size := 0, 0
+	for _, n := range counts {
+		if n > 1 {
+			nc++
+			size += int(n)
 		}
 	}
-	p.normalize()
+	if nc == 0 {
+		return p
+	}
+	// Assign class ids to codes with count > 1 in order of first
+	// occurrence: that order is exactly "classes sorted by smallest tuple
+	// index", so no normalisation sort is needed afterwards.
+	classOf := make([]int32, dom)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	p.rows = make([]int, size)
+	p.offs = make([]int32, nc+1)
+	next := 0
+	for _, c := range col {
+		if counts[c] > 1 && classOf[c] == -1 {
+			classOf[c] = int32(next)
+			p.offs[next+1] = counts[c]
+			next++
+		}
+	}
+	for i := 0; i < nc; i++ {
+		p.offs[i+1] += p.offs[i]
+	}
+	// Fill: scanning tuples in order keeps each class ascending.
+	cursor := make([]int32, nc)
+	for t, c := range col {
+		if id := classOf[c]; id >= 0 {
+			p.rows[p.offs[id]+cursor[id]] = t
+			cursor[id]++
+		}
+	}
 	return p
 }
 
@@ -52,38 +103,59 @@ func Single(r *relation.Relation, a attrset.Attr) *Partition {
 // and empty classes are dropped; classes are normalised to canonical order.
 // It is primarily for tests and synthetic inputs.
 func FromClasses(numRows int, classes [][]int) *Partition {
-	p := &Partition{NumRows: numRows}
+	kept := make([][]int, 0, len(classes))
 	for _, c := range classes {
 		if len(c) > 1 {
-			cc := append([]int(nil), c...)
-			sort.Ints(cc)
-			p.Classes = append(p.Classes, cc)
+			cc := slices.Clone(c)
+			slices.Sort(cc)
+			kept = append(kept, cc)
 		}
 	}
-	p.normalize()
+	slices.SortFunc(kept, func(a, b []int) int { return a[0] - b[0] })
+	p := &Partition{NumRows: numRows}
+	for _, c := range kept {
+		p.appendClass(c)
+	}
 	return p
 }
 
-func (p *Partition) normalize() {
-	for _, c := range p.Classes {
-		sort.Ints(c)
+// appendClass adds a class (already sorted, size > 1) to the flat store.
+// Callers must append classes in canonical order (by first tuple index).
+func (p *Partition) appendClass(c []int) {
+	if len(p.offs) == 0 {
+		p.offs = append(p.offs, 0)
 	}
-	sort.Slice(p.Classes, func(i, j int) bool {
-		return p.Classes[i][0] < p.Classes[j][0]
-	})
+	p.rows = append(p.rows, c...)
+	p.offs = append(p.offs, int32(len(p.rows)))
 }
 
 // NumClasses returns the number of stripped (size > 1) classes.
-func (p *Partition) NumClasses() int { return len(p.Classes) }
+func (p *Partition) NumClasses() int {
+	if len(p.offs) == 0 {
+		return 0
+	}
+	return len(p.offs) - 1
+}
+
+// Class returns the i-th class as a view into the shared row store: tuple
+// ids in increasing order. The caller must not modify it.
+func (p *Partition) Class(i int) []int {
+	return p.rows[p.offs[i]:p.offs[i+1]]
+}
+
+// Classes materialises the classes as a slice of views into the row store
+// (one allocation for the spine; the classes themselves are not copied).
+// Hot paths should iterate with NumClasses/Class instead.
+func (p *Partition) Classes() [][]int {
+	out := make([][]int, p.NumClasses())
+	for i := range out {
+		out[i] = p.Class(i)
+	}
+	return out
+}
 
 // Size returns ||π̂||, the total number of tuples across stripped classes.
-func (p *Partition) Size() int {
-	n := 0
-	for _, c := range p.Classes {
-		n += len(c)
-	}
-	return n
-}
+func (p *Partition) Size() int { return len(p.rows) }
 
 // FullClassCount returns |π_X| of the unstripped partition: stripped
 // classes plus the singletons that stripping removed.
@@ -103,15 +175,16 @@ func (p *Partition) Error() float64 {
 
 // IsUnique reports whether the attribute set is a superkey: every class is
 // a singleton, i.e. the stripped partition is empty.
-func (p *Partition) IsUnique() bool { return len(p.Classes) == 0 }
+func (p *Partition) IsUnique() bool { return len(p.rows) == 0 }
 
 // Couples returns the number of tuple couples (unordered pairs) inside the
 // partition's classes: Σ_c |c|·(|c|-1)/2. This is the work the agree-set
 // computation would do on this partition.
 func (p *Partition) Couples() int {
 	n := 0
-	for _, c := range p.Classes {
-		n += len(c) * (len(c) - 1) / 2
+	for i, nc := 0, p.NumClasses(); i < nc; i++ {
+		l := len(p.Class(i))
+		n += l * (l - 1) / 2
 	}
 	return n
 }
@@ -124,16 +197,17 @@ func (p *Partition) Refines(q *Partition) bool {
 	// Map each tuple to its class id in q; stripped-away singletons get -1
 	// (a unique virtual class each, which any subset of size ≥ 2 cannot
 	// be inside).
-	cls := make([]int, p.NumRows)
+	cls := make([]int32, p.NumRows)
 	for i := range cls {
 		cls[i] = -1
 	}
-	for id, c := range q.Classes {
-		for _, t := range c {
-			cls[t] = id
+	for id, nc := 0, q.NumClasses(); id < nc; id++ {
+		for _, t := range q.Class(id) {
+			cls[t] = int32(id)
 		}
 	}
-	for _, c := range p.Classes {
+	for i, nc := 0, p.NumClasses(); i < nc; i++ {
+		c := p.Class(i)
 		first := cls[c[0]]
 		if first == -1 {
 			return false
@@ -150,48 +224,62 @@ func (p *Partition) Refines(q *Partition) bool {
 // Product computes the stripped partition π̂_{X∪Y} = π̂_X · π̂_Y from the
 // stripped partitions of X and Y, using the probe-table algorithm of TANE
 // (Huhtala et al. 1998, procedure STRIPPED_PRODUCT). Cost: O(||π̂_X|| +
-// ||π̂_Y||) with two scratch tables reused across calls via Prober.
+// ||π̂_Y||) with scratch tables reused across calls via Prober.
 func Product(x, y *Partition) *Partition {
 	pr := NewProber(x.NumRows)
 	return pr.Product(x, y)
 }
 
 // Prober carries the scratch state for repeated partition products, so a
-// levelwise sweep allocates the O(|r|) tables once.
+// levelwise sweep allocates the O(|r|) tables once and each product costs
+// two allocations (the result's flat row store and offsets).
 type Prober struct {
-	class  []int   // tuple → class id in x, or -1
-	bucket [][]int // class id in x → tuples collected
-	touch  []int   // class ids touched in this product
+	class  []int32 // tuple → class id in x, or -1
+	bucket [][]int // class id in x → tuples collected (backing reused)
+	touch  []int32 // class ids touched in this product
+	flat   []int   // staging row store for the unordered first pass
+	starts,
+	lens []int32 // class boundaries within flat
+	perm []int32 // class permutation for canonical ordering
 }
 
 // NewProber returns scratch state for relations with numRows tuples.
 func NewProber(numRows int) *Prober {
-	return &Prober{class: make([]int, numRows)}
+	return &Prober{class: make([]int32, numRows)}
 }
 
 // Product computes π̂_X · π̂_Y. Both partitions must have NumRows equal to
 // the prober's capacity.
 func (pr *Prober) Product(x, y *Partition) *Partition {
 	if len(pr.class) < x.NumRows {
-		pr.class = make([]int, x.NumRows)
+		pr.class = make([]int32, x.NumRows)
 	}
-	for i := range pr.class {
-		pr.class[i] = -1
+	class := pr.class
+	for i := range class {
+		class[i] = -1
 	}
-	for id, c := range x.Classes {
-		for _, t := range c {
-			pr.class[t] = id
+	xnc := x.NumClasses()
+	for id := 0; id < xnc; id++ {
+		for _, t := range x.Class(id) {
+			class[t] = int32(id)
 		}
 	}
-	if cap(pr.bucket) < len(x.Classes) {
-		pr.bucket = make([][]int, len(x.Classes))
+	if cap(pr.bucket) < xnc {
+		pr.bucket = append(pr.bucket[:cap(pr.bucket)], make([][]int, xnc-cap(pr.bucket))...)
 	}
-	bucket := pr.bucket[:len(x.Classes)]
+	bucket := pr.bucket[:xnc]
 	out := &Partition{NumRows: x.NumRows}
-	pr.touch = pr.touch[:0]
-	for _, c := range y.Classes {
+	// First pass: the probe-table gather of STRIPPED_PRODUCT, staging
+	// surviving classes into the reusable flat store instead of
+	// allocating a slice per class. Scanning a y-class ascending keeps
+	// each bucket — and hence each staged class — ascending.
+	pr.flat = pr.flat[:0]
+	pr.starts, pr.lens, pr.touch = pr.starts[:0], pr.lens[:0], pr.touch[:0]
+	flat := pr.flat
+	for yi, ync := 0, y.NumClasses(); yi < ync; yi++ {
+		c := y.Class(yi)
 		for _, t := range c {
-			if id := pr.class[t]; id >= 0 {
+			if id := class[t]; id >= 0 {
 				if len(bucket[id]) == 0 {
 					pr.touch = append(pr.touch, id)
 				}
@@ -200,14 +288,44 @@ func (pr *Prober) Product(x, y *Partition) *Partition {
 		}
 		for _, id := range pr.touch {
 			if len(bucket[id]) > 1 {
-				cls := append([]int(nil), bucket[id]...)
-				out.Classes = append(out.Classes, cls)
+				pr.starts = append(pr.starts, int32(len(flat)))
+				pr.lens = append(pr.lens, int32(len(bucket[id])))
+				flat = append(flat, bucket[id]...)
 			}
 			bucket[id] = bucket[id][:0]
 		}
 		pr.touch = pr.touch[:0]
 	}
-	out.normalize()
+	pr.flat = flat
+	nc := len(pr.starts)
+	if nc == 0 {
+		return out
+	}
+	// Canonical order: classes sorted by smallest tuple index. The touch
+	// order is "by first element" only *within* one y-class — classes
+	// from a later y-class can still start lower — so a permutation sort
+	// over the class starts is required.
+	perm := pr.perm[:0]
+	for i := 0; i < nc; i++ {
+		perm = append(perm, int32(i))
+	}
+	starts, lens := pr.starts, pr.lens
+	slices.SortFunc(perm, func(a, b int32) int {
+		return flat[starts[a]] - flat[starts[b]]
+	})
+	pr.perm = perm
+	size := 0
+	for _, l := range lens {
+		size += int(l)
+	}
+	rows := make([]int, 0, size)
+	offs := make([]int32, 1, nc+1)
+	for _, ci := range perm {
+		rows = append(rows, flat[starts[ci]:starts[ci]+lens[ci]]...)
+		offs = append(offs, int32(len(rows)))
+	}
+	out.rows = rows
+	out.offs = offs
 	return out
 }
 
@@ -265,6 +383,9 @@ func (db *Database) Arity() int { return len(db.Attr) }
 // Testing each class against every other attribute's tuple→class table
 // costs O(‖r̂‖·|R|) overall — linear in the stripped partition database
 // per attribute.
+//
+// The returned classes are views into the partitions' row stores; the
+// caller must not modify them.
 func (db *Database) MaximalClasses() [][]int {
 	n := len(db.Attr)
 	// tupleClass[b][t] = index of t's class within π̂_b, or -1.
@@ -274,8 +395,8 @@ func (db *Database) MaximalClasses() [][]int {
 		for i := range tc {
 			tc[i] = -1
 		}
-		for i, c := range p.Classes {
-			for _, t := range c {
+		for i, nc := 0, p.NumClasses(); i < nc; i++ {
+			for _, t := range p.Class(i) {
 				tc[t] = int32(i)
 			}
 		}
@@ -284,7 +405,8 @@ func (db *Database) MaximalClasses() [][]int {
 
 	var out [][]int
 	for a, p := range db.Attr {
-		for _, c := range p.Classes {
+		for ci, nc := 0, p.NumClasses(); ci < nc; ci++ {
+			c := p.Class(ci)
 			dominated := false
 			for b := 0; b < n && !dominated; b++ {
 				if b == a {
@@ -305,7 +427,7 @@ func (db *Database) MaximalClasses() [][]int {
 				if !same {
 					continue
 				}
-				other := db.Attr[b].Classes[id]
+				other := db.Attr[b].Class(int(id))
 				if len(other) > len(c) || (len(other) == len(c) && b < a) {
 					dominated = true
 				}
@@ -315,15 +437,10 @@ func (db *Database) MaximalClasses() [][]int {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return lessInts(out[i], out[j]) })
+	slices.SortFunc(out, cmpInts)
 	return out
 }
 
-func lessInts(a, b []int) bool {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
-}
+func cmpInts(a, b []int) int { return slices.Compare(a, b) }
+
+func lessInts(a, b []int) bool { return cmpInts(a, b) < 0 }

@@ -3,7 +3,7 @@ package partition
 import (
 	"math/rand"
 	"reflect"
-	"sort"
+	"slices"
 	"testing"
 
 	"repro/internal/attrset"
@@ -30,8 +30,8 @@ func TestSinglePaperExample(t *testing.T) {
 	}
 	for a, w := range want {
 		p := Single(r, a)
-		if !classesEqual(p.Classes, w) {
-			t.Errorf("π̂_%c = %v, want %v", 'A'+a, p.Classes, w)
+		if !classesEqual(p.Classes(), w) {
+			t.Errorf("π̂_%c = %v, want %v", 'A'+a, p.Classes(), w)
 		}
 		if p.NumRows != 7 {
 			t.Errorf("NumRows = %d", p.NumRows)
@@ -69,8 +69,8 @@ func TestPartitionStats(t *testing.T) {
 func TestFromClassesNormalisation(t *testing.T) {
 	p := FromClasses(10, [][]int{{5}, {}, {4, 2}, {9, 1, 7}})
 	want := [][]int{{1, 7, 9}, {2, 4}}
-	if !classesEqual(p.Classes, want) {
-		t.Errorf("Classes = %v, want %v", p.Classes, want)
+	if !classesEqual(p.Classes(), want) {
+		t.Errorf("Classes = %v, want %v", p.Classes(), want)
 	}
 }
 
@@ -121,18 +121,18 @@ func TestProductPaperExample(t *testing.T) {
 	// singleton. Tuples 3,4 share C=98 but differ on B. So π̂_BC = ∅.
 	pBC := Product(pB, pC)
 	if !pBC.IsUnique() {
-		t.Errorf("π̂_BC = %v, want empty", pBC.Classes)
+		t.Errorf("π̂_BC = %v, want empty", pBC.Classes())
 	}
 	// π̂_{BE} = π̂_B (B determines E).
 	pBE := Product(pB, Single(r, 4))
-	if !classesEqual(pBE.Classes, pB.Classes) {
-		t.Errorf("π̂_BE = %v, want %v", pBE.Classes, pB.Classes)
+	if !classesEqual(pBE.Classes(), pB.Classes()) {
+		t.Errorf("π̂_BE = %v, want %v", pBE.Classes(), pB.Classes())
 	}
 	// Product with the empty-set partition (single class) is identity.
 	pEmpty := Of(r, attrset.Empty())
 	got := Product(pEmpty, pB)
-	if !classesEqual(got.Classes, pB.Classes) {
-		t.Errorf("π̂_∅ · π̂_B = %v, want %v", got.Classes, pB.Classes)
+	if !classesEqual(got.Classes(), pB.Classes()) {
+		t.Errorf("π̂_∅ · π̂_B = %v, want %v", got.Classes(), pB.Classes())
 	}
 }
 
@@ -142,9 +142,9 @@ func TestProductCommutes(t *testing.T) {
 		for b := 0; b < r.Arity(); b++ {
 			ab := Product(Single(r, a), Single(r, b))
 			ba := Product(Single(r, b), Single(r, a))
-			if !classesEqual(ab.Classes, ba.Classes) {
+			if !classesEqual(ab.Classes(), ba.Classes()) {
 				t.Errorf("product not commutative for %d,%d: %v vs %v",
-					a, b, ab.Classes, ba.Classes)
+					a, b, ab.Classes(), ba.Classes())
 			}
 		}
 	}
@@ -193,8 +193,8 @@ func TestOfMatchesNaive(t *testing.T) {
 			}
 			got := Of(r, x)
 			want := naivePartition(r, x)
-			if !classesEqual(got.Classes, want.Classes) {
-				t.Fatalf("Of(%v) = %v, want %v (rows=%d)", x, got.Classes, want.Classes, rows)
+			if !classesEqual(got.Classes(), want.Classes()) {
+				t.Fatalf("Of(%v) = %v, want %v (rows=%d)", x, got.Classes(), want.Classes(), rows)
 			}
 		}
 	}
@@ -206,13 +206,13 @@ func TestProberReuse(t *testing.T) {
 	pB, pD := Single(r, 1), Single(r, 3)
 	first := pr.Product(pB, pD)
 	second := pr.Product(pB, pD)
-	if !classesEqual(first.Classes, second.Classes) {
+	if !classesEqual(first.Classes(), second.Classes()) {
 		t.Error("prober reuse changed result")
 	}
 	// Growing capacity on demand.
 	small := NewProber(1)
 	got := small.Product(pB, pD)
-	if !classesEqual(got.Classes, first.Classes) {
+	if !classesEqual(got.Classes(), first.Classes()) {
 		t.Error("prober capacity growth broken")
 	}
 }
@@ -223,8 +223,8 @@ func TestDatabase(t *testing.T) {
 	if db.Arity() != 5 || db.NumRows != 7 {
 		t.Fatalf("db shape %d/%d", db.Arity(), db.NumRows)
 	}
-	if !classesEqual(db.Attr[2].Classes, [][]int{{3, 4}}) {
-		t.Errorf("π̂_C = %v", db.Attr[2].Classes)
+	if !classesEqual(db.Attr[2].Classes(), [][]int{{3, 4}}) {
+		t.Errorf("π̂_C = %v", db.Attr[2].Classes())
 	}
 }
 
@@ -261,7 +261,7 @@ func TestMaximalClassesProperties(t *testing.T) {
 		mc := db.MaximalClasses()
 		// 1. Every class of every stripped partition is ⊆ some MC class.
 		for _, p := range db.Attr {
-			for _, c := range p.Classes {
+			for _, c := range p.Classes() {
 				if !coveredBy(c, mc) {
 					t.Fatalf("class %v not covered by MC %v", c, mc)
 				}
@@ -279,7 +279,7 @@ func TestMaximalClassesProperties(t *testing.T) {
 		for _, c := range mc {
 			found := false
 			for _, p := range db.Attr {
-				for _, pc := range p.Classes {
+				for _, pc := range p.Classes() {
 					if reflect.DeepEqual(c, pc) {
 						found = true
 					}
@@ -332,7 +332,7 @@ func TestMaximalClassesDedupAcrossAttrs(t *testing.T) {
 		}
 		seen[k] = true
 	}
-	sorted := sort.SliceIsSorted(mc, func(i, j int) bool { return lessInts(mc[i], mc[j]) })
+	sorted := slices.IsSortedFunc(mc, cmpInts)
 	if !sorted {
 		t.Error("MC not in canonical order")
 	}

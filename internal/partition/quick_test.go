@@ -48,11 +48,11 @@ func TestQuickProductLaws(t *testing.T) {
 
 		// Product = partition of the union.
 		direct := Of(r, x.Union(y))
-		if !classesEqual(pxy.Classes, direct.Classes) {
+		if !classesEqual(pxy.Classes(), direct.Classes()) {
 			t.Fatalf("product != union partition for %v, %v", x, y)
 		}
 		// Idempotence.
-		if !classesEqual(Product(px, px).Classes, px.Classes) {
+		if !classesEqual(Product(px, px).Classes(), px.Classes()) {
 			t.Fatalf("product not idempotent for %v", x)
 		}
 		// The product refines both factors.
@@ -89,8 +89,8 @@ func TestQuickRefinesReflexiveAndAntisymmetricOnCanonical(t *testing.T) {
 		}
 		// Mutual refinement ⇒ identical canonical classes.
 		if px.Refines(py) && py.Refines(px) {
-			if !classesEqual(px.Classes, py.Classes) {
-				t.Fatalf("mutually refining partitions differ: %v vs %v", px.Classes, py.Classes)
+			if !classesEqual(px.Classes(), py.Classes()) {
+				t.Fatalf("mutually refining partitions differ: %v vs %v", px.Classes(), py.Classes())
 			}
 		}
 	}
@@ -150,7 +150,7 @@ func TestQuickMCPreservesCoupleCoverage(t *testing.T) {
 			return false
 		}
 		for _, p := range db.Attr {
-			for _, cls := range p.Classes {
+			for _, cls := range p.Classes() {
 				for i := 0; i < len(cls); i++ {
 					for j := i + 1; j < len(cls); j++ {
 						if !inSameMC(cls[i], cls[j]) {

@@ -98,13 +98,14 @@ func Stream(r io.Reader, header bool) (*StreamResult, error) {
 	}
 	for a := range names {
 		res.DomainSizes[a] = len(buckets[a])
+		// Codes are assigned in first-occurrence order, so buckets are
+		// already sorted by smallest tuple index — canonical class order.
 		p := &Partition{NumRows: rows}
 		for _, b := range buckets[a] {
 			if len(b) > 1 {
-				p.Classes = append(p.Classes, b)
+				p.appendClass(b)
 			}
 		}
-		p.normalize()
 		res.DB.Attr[a] = p
 	}
 	return res, nil

@@ -24,8 +24,8 @@ func TestStreamMatchesMaterialized(t *testing.T) {
 		t.Fatalf("shape mismatch")
 	}
 	for a := range want.Attr {
-		if !classesEqual(res.DB.Attr[a].Classes, want.Attr[a].Classes) {
-			t.Errorf("π̂_%c = %v, want %v", 'A'+a, res.DB.Attr[a].Classes, want.Attr[a].Classes)
+		if !classesEqual(res.DB.Attr[a].Classes(), want.Attr[a].Classes()) {
+			t.Errorf("π̂_%c = %v, want %v", 'A'+a, res.DB.Attr[a].Classes(), want.Attr[a].Classes())
 		}
 	}
 	if res.Names[3] != "depname" {
@@ -47,8 +47,8 @@ func TestStreamHeaderless(t *testing.T) {
 	if res.DB.NumRows != 3 || res.Names[0] != "col0" {
 		t.Errorf("headerless: rows=%d names=%v", res.DB.NumRows, res.Names)
 	}
-	if !classesEqual(res.DB.Attr[0].Classes, [][]int{{0, 2}}) {
-		t.Errorf("π̂_0 = %v", res.DB.Attr[0].Classes)
+	if !classesEqual(res.DB.Attr[0].Classes(), [][]int{{0, 2}}) {
+		t.Errorf("π̂_0 = %v", res.DB.Attr[0].Classes())
 	}
 }
 

@@ -3,7 +3,7 @@ package relation
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -90,7 +90,7 @@ func (r *Relation) SummaryString() string {
 	for i := range widths {
 		cols = append(cols, i)
 	}
-	sort.Ints(cols)
+	slices.Sort(cols)
 	var b strings.Builder
 	for _, row := range rows {
 		for i, c := range row {

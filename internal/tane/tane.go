@@ -358,13 +358,15 @@ func (ac *approxChecker) g3(lhsPart, xPart *partition.Partition) float64 {
 	for i := range ac.scratch {
 		ac.scratch[i] = 1
 	}
-	for _, c := range xPart.Classes {
+	for ci, nc := 0, xPart.NumClasses(); ci < nc; ci++ {
+		c := xPart.Class(ci)
 		for _, t := range c {
 			ac.scratch[t] = len(c)
 		}
 	}
 	removed := 0
-	for _, c := range lhsPart.Classes {
+	for ci, nc := 0, lhsPart.NumClasses(); ci < nc; ci++ {
+		c := lhsPart.Class(ci)
 		maxFreq := 1
 		for _, t := range c {
 			if ac.scratch[t] > maxFreq {
