@@ -28,6 +28,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/maxsets"
 	"repro/internal/partition"
+	"repro/internal/pstore"
 	"repro/internal/relation"
 	"repro/internal/tane"
 )
@@ -442,6 +443,53 @@ func BenchmarkTANEApproximate(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkTANEParallel measures TANE's parallel level evaluation at
+// increasing worker counts on the widest default workload. Workers=1 is
+// the sequential reference path; speedups are relative to it and bounded
+// by GOMAXPROCS — on a single-core testbed all counts degenerate to ~1×
+// (see BENCH_TANE.json for recorded numbers).
+func BenchmarkTANEParallel(b *testing.B) {
+	r := dataset(b, 20, 5000, 0.3)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tane.Run(context.Background(), r, tane.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTANEMemBound measures the memory-bounded partition store:
+// cap=0 is the unbounded reference, the mid cap forces steady eviction
+// with some recomputation, and the 1-byte cap is the worst case — every
+// partition evicted on arrival and recomputed from the roots on each
+// use. The recompute count and the settled peak are reported as custom
+// metrics next to the time cost of trading memory for recomputation.
+func BenchmarkTANEMemBound(b *testing.B) {
+	r := dataset(b, 15, 2000, 0.5)
+	for _, cap := range []int64{0, 64 << 10, 1} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			b.ReportAllocs()
+			var stats pstore.Stats
+			for i := 0; i < b.N; i++ {
+				res, err := tane.Run(context.Background(), r, tane.Options{MaxPartitionBytes: cap})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = res.Stats
+			}
+			if cap > 0 && stats.PeakBytes > cap {
+				b.Fatalf("PeakBytes %d over cap %d", stats.PeakBytes, cap)
+			}
+			b.ReportMetric(float64(stats.Recomputes), "recomputes/op")
+			b.ReportMetric(float64(stats.PeakBytes), "peak-bytes")
 		})
 	}
 }

@@ -34,7 +34,7 @@ func main() {
 		full       = flag.Bool("full", false, "run the paper-scale grid (100k tuples × 60 attrs) instead of the quick grid")
 		timeout    = flag.Duration("timeout", 2*time.Hour, "per-algorithm-run cutoff producing '*' cells, as in the paper")
 		seed       = flag.Uint64("seed", 1, "dataset seed")
-		workers    = flag.Int("workers", 0, "worker-pool width for the Dep-Miner runs: 0 = all cores, 1 = sequential (results identical, only times change)")
+		workers    = flag.Int("workers", 0, "worker-pool width for every algorithm's parallel phases: 0 = all cores, 1 = sequential (results identical, only times change)")
 		csvOut     = flag.String("csv", "", "also append raw cell measurements as CSV to this file")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")

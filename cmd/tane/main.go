@@ -23,14 +23,16 @@ import (
 
 // config carries the resolved command-line configuration.
 type config struct {
-	noHeader bool
-	epsilon  float64
-	maxLHS   int
-	timeout  time.Duration
-	budget   int64
-	stats    bool
-	useNames bool
-	args     []string
+	noHeader  bool
+	epsilon   float64
+	maxLHS    int
+	workers   int
+	partBytes int64
+	timeout   time.Duration
+	budget    int64
+	stats     bool
+	useNames  bool
+	args      []string
 }
 
 func main() {
@@ -38,8 +40,10 @@ func main() {
 	flag.BoolVar(&cfg.noHeader, "no-header", false, "treat the first CSV record as data, not attribute names")
 	flag.Float64Var(&cfg.epsilon, "epsilon", 0, "approximate-dependency threshold g3 ≤ ε (0 = exact)")
 	flag.IntVar(&cfg.maxLHS, "max-lhs", 0, "bound on left-hand-side size (0 = unbounded)")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool width for the parallel pipeline phases: 0 = all cores, 1 = sequential (output is identical for every value)")
+	flag.Int64Var(&cfg.partBytes, "max-partition-bytes", 0, "cap on resident partition bytes (0 = unbounded); over the cap partitions are evicted and recomputed on demand")
 	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Hour, "deadline for the search; on expiry partial results are printed and the exit code is 3")
-	flag.Int64Var(&cfg.budget, "budget", 0, "resource budget in lattice-node units (0 = unlimited); on overrun partial results are printed and the exit code is 3")
+	flag.Int64Var(&cfg.budget, "budget", 0, "resource budget in lattice-node units plus materialised partition bytes (0 = unlimited); on overrun partial results are printed and the exit code is 3")
 	flag.BoolVar(&cfg.stats, "stats", false, "print lattice statistics")
 	flag.BoolVar(&cfg.useNames, "names", true, "print FDs with attribute names (false: letter notation)")
 	flag.Parse()
@@ -78,9 +82,11 @@ func (cfg *config) run(ctx context.Context) error {
 		budget = depminer.NewBudget(l)
 	}
 	res, rerr := depminer.DiscoverTANE(ctx, r, depminer.TANEOptions{
-		Epsilon: cfg.epsilon,
-		MaxLHS:  cfg.maxLHS,
-		Budget:  budget,
+		Epsilon:           cfg.epsilon,
+		MaxLHS:            cfg.maxLHS,
+		Workers:           cfg.workers,
+		MaxPartitionBytes: cfg.partBytes,
+		Budget:            budget,
 	})
 	if rerr != nil && (res == nil || !res.Partial) {
 		return rerr
@@ -104,6 +110,9 @@ func (cfg *config) run(ctx context.Context) error {
 	if cfg.stats {
 		fmt.Printf("\nlattice: %d nodes over %d levels, %v elapsed\n",
 			res.LatticeNodes, res.Levels, res.Elapsed)
+		st := res.Stats
+		fmt.Printf("partitions: %d hits, %d misses, %d evictions, %d recomputes; peak %d B resident (+%d B roots), cap %d B\n",
+			st.Hits, st.Misses, st.Evictions, st.Recomputes, st.PeakBytes, st.RootBytes, st.CapBytes)
 	}
 	return rerr
 }

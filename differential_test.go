@@ -204,6 +204,107 @@ func TestDifferentialWorkerCounts(t *testing.T) {
 	}
 }
 
+// taneFingerprint renders the deterministic fields of a TANE Result: the
+// cover and the lattice counters. The partition-store Stats are
+// deliberately excluded — hit/miss/recompute counts depend on eviction
+// timing and hence worker scheduling; the cover never does.
+func taneFingerprint(res *TANEResult) string {
+	return fmt.Sprintf("fds=%v nodes=%d levels=%d partial=%t",
+		res.FDs, res.LatticeNodes, res.Levels, res.Partial)
+}
+
+// TestDifferentialTANEWorkerCounts pins this layer's tentpole guarantee:
+// DiscoverTANE yields a byte-identical cover for every Workers value and
+// every partition-store cap — including a 1-byte cap under which every
+// product is evicted on arrival and recomputed on demand — in both exact
+// and approximate mode. The sweep also checks the cap is honoured
+// (PeakBytes ≤ cap) and that the tight caps really exercised the
+// evict/recompute machinery rather than vacuously passing.
+func TestDifferentialTANEWorkerCounts(t *testing.T) {
+	employees, err := LoadCSVFile("testdata/employees.csv", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []struct {
+		label string
+		r     *Relation
+	}{
+		{"paper example", PaperExample()},
+		{"employees fixture", employees},
+	}
+	rng := rand.New(rand.NewSource(271828))
+	for i := 0; i < 30; i++ {
+		inputs = append(inputs, struct {
+			label string
+			r     *Relation
+		}{fmt.Sprintf("random %d", i), differentialRelation(t, rng)})
+	}
+
+	ctx := context.Background()
+	var evictions, recomputes int64
+	for _, in := range inputs {
+		for _, epsilon := range []float64{0, 0.1} {
+			seq, err := DiscoverTANE(ctx, in.r, TANEOptions{Epsilon: epsilon, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s ε=%v workers=1: %v", in.label, epsilon, err)
+			}
+			want := taneFingerprint(seq)
+			for _, workers := range []int{0, 2, 4, 8} {
+				for _, cap := range []int64{0, 1, 4096} {
+					res, err := DiscoverTANE(ctx, in.r, TANEOptions{
+						Epsilon: epsilon, Workers: workers, MaxPartitionBytes: cap,
+					})
+					if err != nil {
+						t.Fatalf("%s ε=%v workers=%d cap=%d: %v", in.label, epsilon, workers, cap, err)
+					}
+					if got := taneFingerprint(res); got != want {
+						t.Fatalf("%s ε=%v workers=%d cap=%d: Result differs from sequential:\n got %s\nwant %s",
+							in.label, epsilon, workers, cap, got, want)
+					}
+					if cap > 0 && res.Stats.PeakBytes > cap {
+						t.Fatalf("%s ε=%v workers=%d cap=%d: PeakBytes %d exceeds cap",
+							in.label, epsilon, workers, cap, res.Stats.PeakBytes)
+					}
+					evictions += res.Stats.Evictions
+					recomputes += res.Stats.Recomputes
+				}
+			}
+		}
+	}
+	if evictions == 0 || recomputes == 0 {
+		t.Errorf("sweep exercised %d evictions and %d recomputes, want both non-zero", evictions, recomputes)
+	}
+}
+
+// TestDifferentialKeysWorkerCounts extends the same guarantee to the
+// candidate-key search, which shares the worker pool and partition store.
+func TestDifferentialKeysWorkerCounts(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(161803))
+	inputs := []*Relation{PaperExample()}
+	for i := 0; i < 20; i++ {
+		inputs = append(inputs, differentialRelation(t, rng))
+	}
+	for i, r := range inputs {
+		seq, err := DiscoverKeysOpts(ctx, r, KeysOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("input %d workers=1: %v", i, err)
+		}
+		want := fmt.Sprintf("keys=%v nodes=%d", seq.Keys, seq.LatticeNodes)
+		for _, workers := range []int{0, 2, 8} {
+			for _, cap := range []int64{0, 1} {
+				res, err := DiscoverKeysOpts(ctx, r, KeysOptions{Workers: workers, MaxPartitionBytes: cap})
+				if err != nil {
+					t.Fatalf("input %d workers=%d cap=%d: %v", i, workers, cap, err)
+				}
+				if got := fmt.Sprintf("keys=%v nodes=%d", res.Keys, res.LatticeNodes); got != want {
+					t.Fatalf("input %d workers=%d cap=%d:\n got %s\nwant %s", i, workers, cap, got, want)
+				}
+			}
+		}
+	}
+}
+
 // TestDifferentialStreamedWorkerCounts covers the second public entry
 // point of the parallel layer: DiscoverStreamed over a streamed partition
 // database.

@@ -43,9 +43,10 @@ type Config struct {
 	// Timeout bounds each algorithm run, reproducing the paper's
 	// two-hour cutoff (the '*' cells). Zero means no bound.
 	Timeout time.Duration
-	// Workers is the worker-pool width for the Dep-Miner runs (0 = all
-	// cores, 1 = sequential). Results are identical for every value;
-	// only the times change. TANE is single-threaded and unaffected.
+	// Workers is the worker-pool width for every algorithm's parallel
+	// phases — the Dep-Miner pipelines and TANE's level evaluation alike
+	// (0 = all cores, 1 = sequential). Results are identical for every
+	// value; only the times change.
 	Workers int
 	// Seed feeds the deterministic generator.
 	Seed uint64
@@ -166,7 +167,7 @@ func RunCell(ctx context.Context, cfg Config, rows, attrs int) (*Cell, error) {
 		return len(res.FDs), armstrong.Size(res.MaxSets), nil
 	})
 	cell.Seconds[2] = runOne(func(runCtx context.Context) (int, int, error) {
-		res, err := tane.Run(runCtx, r, tane.Options{})
+		res, err := tane.Run(runCtx, r, tane.Options{Workers: cfg.Workers})
 		if err != nil {
 			return 0, -1, err
 		}

@@ -117,8 +117,10 @@ type Options struct {
 }
 
 // ErrInvalidOptions is wrapped by every Options validation failure, so
-// callers can classify bad configuration apart from runtime failures.
-var ErrInvalidOptions = errors.New("core: invalid options")
+// callers can classify bad configuration apart from runtime failures. It
+// is the shared guard sentinel: the TANE and keys Options use the same
+// one, so one errors.Is test covers every miner.
+var ErrInvalidOptions = guard.ErrInvalidOptions
 
 // Validate rejects nonsensical configurations up front — negative knob
 // values and out-of-range enums — so they fail with a typed error at the

@@ -19,8 +19,9 @@ import (
 )
 
 // The hook points. Phase boundaries fire once per run; worker-loop points
-// (PoolTask, AgreeChunk, AgreeStride) and level points (HypergraphLevel,
-// TANELevel, KeysLevel, INDLevel, FastFDsAttr) fire once per unit of work.
+// (PoolTask, AgreeChunk, AgreeStride), level points (HypergraphLevel,
+// TANELevel, KeysLevel, INDLevel, FastFDsAttr) and partition-store points
+// (PstoreEvict, PstoreRecompute) fire once per unit of work.
 const (
 	CorePartition   = "core/partition"   // before the stripped-partition build
 	CoreAgree       = "core/agree"       // before step 1 (agree sets)
@@ -35,6 +36,8 @@ const (
 	KeysLevel       = "keys/level"       // at each key-search lattice level
 	INDLevel        = "ind/level"        // at each IND candidate level (incl. unary)
 	FastFDsAttr     = "fastfds/attr"     // before each per-attribute DFS
+	PstoreEvict     = "pstore/evict"     // before each partition-store eviction
+	PstoreRecompute = "pstore/recompute" // before each partition recompute on a store miss
 )
 
 // Points lists every hook point, for tests that sweep all of them.
@@ -43,6 +46,7 @@ func Points() []string {
 		CorePartition, CoreAgree, CoreMaxSets, CoreLHS, CoreArmstrong,
 		PoolTask, AgreeChunk, AgreeStride, HypergraphLevel,
 		TANELevel, KeysLevel, INDLevel, FastFDsAttr,
+		PstoreEvict, PstoreRecompute,
 	}
 }
 

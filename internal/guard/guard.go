@@ -38,6 +38,10 @@ var (
 	// ErrPanic reports that a panic was contained at a phase or worker
 	// boundary.
 	ErrPanic = errors.New("panic recovered")
+	// ErrInvalidOptions is wrapped by every Options validation failure
+	// across the miners, so callers can distinguish "your configuration is
+	// nonsense" from runtime failures with one errors.Is test.
+	ErrInvalidOptions = errors.New("invalid options")
 )
 
 // Limits declares the ceilings of a run. The zero value is ungoverned.

@@ -12,27 +12,56 @@
 // The search is TANE-style levelwise over the attribute lattice: level k
 // holds the non-unique k-sets, partitions are computed by products along
 // the lattice, supersets of found keys are pruned via Apriori generation.
+// Like TANE, the partition products of each level fan out over
+// internal/pool workers, and the partitions live in a memory-bounded
+// internal/pstore store — evicted under Options.MaxPartitionBytes and
+// recomputed on demand. The uniqueness test itself is a cached flag set
+// when the partition is built, so eviction never re-runs a test.
 package keys
 
 import (
 	"context"
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/attrset"
 	"repro/internal/faultinject"
 	"repro/internal/guard"
 	"repro/internal/partition"
+	"repro/internal/pool"
+	"repro/internal/pstore"
 	"repro/internal/relation"
 )
 
 // Options configure a key discovery run.
 type Options struct {
+	// Workers caps the worker pool computing each level's partition
+	// products: 0 = all cores, 1 = the sequential reference path. The
+	// discovered keys are identical for every value.
+	Workers int
+	// MaxPartitionBytes bounds the resident byte footprint of the
+	// materialised partitions (0 = unbounded); over the cap partitions
+	// are evicted and recomputed on demand. See pstore.
+	MaxPartitionBytes int64
 	// Budget governs the levelwise search: each lattice level charges its
-	// width (the number of materialised partitions, which is the search's
-	// memory footprint). On overrun the keys found so far are returned as
-	// a partial Result with the guard error. nil means ungoverned.
+	// width (the number of materialised partitions) and every partition
+	// materialisation charges its byte footprint. On overrun the keys
+	// found so far are returned as a partial Result with the guard error.
+	// nil means ungoverned.
 	Budget *guard.Budget
+}
+
+// Validate rejects nonsensical configurations with an error wrapping
+// guard.ErrInvalidOptions.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: negative Workers %d", guard.ErrInvalidOptions, o.Workers)
+	}
+	if o.MaxPartitionBytes < 0 {
+		return fmt.Errorf("%w: negative MaxPartitionBytes %d", guard.ErrInvalidOptions, o.MaxPartitionBytes)
+	}
+	return nil
 }
 
 // Result is the outcome of a key discovery run.
@@ -45,6 +74,9 @@ type Result struct {
 	LatticeNodes int
 	// Elapsed is the wall-clock duration.
 	Elapsed time.Duration
+	// Stats are the partition store's hit/miss/evict/recompute counters
+	// and byte footprints.
+	Stats pstore.Stats
 	// Partial reports that the search stopped early on a budget or
 	// deadline overrun (or a contained panic): Keys holds only the keys
 	// confirmed before the cutoff, and longer keys may be missing. Always
@@ -57,21 +89,35 @@ func Discover(ctx context.Context, r *relation.Relation) (*Result, error) {
 	return DiscoverOpts(ctx, r, Options{})
 }
 
+// node is one attribute set of the current level. The partition lives in
+// the store; uniqueness is cached when it is built.
+type node struct {
+	set    attrset.Set
+	unique bool
+}
+
 // DiscoverOpts is Discover under explicit options. Panics anywhere in the
 // search are contained at this boundary and surface as a
 // *guard.PanicError.
 func DiscoverOpts(ctx context.Context, r *relation.Relation, opts Options) (res *Result, err error) {
 	start := time.Now()
 	res = &Result{}
+	var store *pstore.Store
 	defer func() {
 		if p := recover(); p != nil {
+			if store != nil {
+				res.Stats = store.Stats()
+			}
 			res.Partial = true
 			res.Elapsed = time.Since(start)
 			err = guard.NewPanicError("keys", p)
 		}
 	}()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	n := r.Arity()
-	if n == 0 {
+	if n == 0 || r.Rows() <= 1 {
 		// The empty set is a key iff the relation has at most one tuple.
 		if r.Rows() <= 1 {
 			res.Keys = attrset.Family{attrset.Empty()}
@@ -79,84 +125,121 @@ func DiscoverOpts(ctx context.Context, r *relation.Relation, opts Options) (res 
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}
-	if r.Rows() <= 1 {
-		res.Keys = attrset.Family{attrset.Empty()}
-		res.Elapsed = time.Since(start)
-		return res, nil
-	}
 
-	prober := partition.NewProber(r.Rows())
-	type node struct{ part *partition.Partition }
-	level := make(map[attrset.Set]*node, n)
+	workers := pool.Resolve(opts.Workers)
+	probers := make([]*partition.Prober, workers)
+	for w := range probers {
+		probers[w] = partition.NewProber(r.Rows())
+	}
+	store = pstore.New(opts.MaxPartitionBytes, opts.Budget)
+
+	level := make([]*node, 0, n)
 	for a := 0; a < n; a++ {
-		level[attrset.Single(a)] = &node{part: partition.Single(r, a)}
+		p := partition.Single(r, a)
+		store.PutRoot(attrset.Single(a), p)
+		level = append(level, &node{set: attrset.Single(a), unique: p.IsUnique()})
 	}
 
-	for len(level) > 0 {
+	for k := 1; len(level) > 0; k++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("keys: cancelled: %w", err)
 		}
-		if err := faultinject.Fire(faultinject.KeysLevel); err != nil {
-			return failKeys(res, start, err)
+		if ferr := faultinject.Fire(faultinject.KeysLevel); ferr != nil {
+			return failKeys(res, store, start, ferr)
 		}
-		if err := opts.Budget.Charge("keys", len(level)); err != nil {
-			return failKeys(res, start, err)
+		if cerr := opts.Budget.Charge("keys", len(level)); cerr != nil {
+			return failKeys(res, store, start, cerr)
 		}
 		res.LatticeNodes += len(level)
-		survivors := make(map[attrset.Set]*node, len(level))
-		for x, nd := range level {
-			if nd.part.IsUnique() {
-				res.Keys = append(res.Keys, x)
+		survivors := level[:0]
+		for _, nd := range level {
+			if nd.unique {
+				res.Keys = append(res.Keys, nd.set)
 			} else {
-				survivors[x] = nd
+				survivors = append(survivors, nd)
 			}
 		}
 		// Apriori join of the non-unique sets; supersets of keys cannot
-		// be generated because one of their subsets is missing.
-		next := make(map[attrset.Set]*node)
-		byPrefix := make(map[attrset.Set][]attrset.Set)
-		for x := range survivors {
-			last := x.Max()
-			p := x.Without(last)
-			byPrefix[p] = append(byPrefix[p], x)
+		// be generated because one of their subsets is missing. The
+		// survivors are sorted, so sets sharing a prefix (the set minus
+		// its largest attribute) are consecutive.
+		surviveIdx := make(map[attrset.Set]bool, len(survivors))
+		for _, nd := range survivors {
+			surviveIdx[nd.set] = true
 		}
-		for _, members := range byPrefix {
-			for i := 0; i < len(members); i++ {
-				for j := i + 1; j < len(members); j++ {
-					cand := members[i].Union(members[j])
-					if _, dup := next[cand]; dup {
-						continue
-					}
+		type candidate struct {
+			nd          *node
+			left, right attrset.Set
+		}
+		var cands []candidate
+		for lo := 0; lo < len(survivors); {
+			prefix := survivors[lo].set.Without(survivors[lo].set.Max())
+			hi := lo + 1
+			for hi < len(survivors) && survivors[hi].set.Without(survivors[hi].set.Max()) == prefix {
+				hi++
+			}
+			for i := lo; i < hi; i++ {
+				for j := i + 1; j < hi; j++ {
+					cand := survivors[i].set.Union(survivors[j].set)
 					ok := true
 					cand.ForEach(func(a attrset.Attr) {
-						if _, in := survivors[cand.Without(a)]; !in {
+						if !surviveIdx[cand.Without(a)] {
 							ok = false
 						}
 					})
 					if !ok {
 						continue
 					}
-					next[cand] = &node{
-						part: prober.Product(survivors[members[i]].part, survivors[members[j]].part),
-					}
+					cands = append(cands, candidate{
+						nd:   &node{set: cand},
+						left: survivors[i].set, right: survivors[j].set,
+					})
 				}
 			}
+			lo = hi
+		}
+		slices.SortFunc(cands, func(a, b candidate) int { return a.nd.set.CompareLex(b.nd.set) })
+
+		perr := pool.Run(ctx, workers, len(cands), func(ctx context.Context, w, t int) error {
+			c := cands[t]
+			lp, err := store.Get(c.left, probers[w])
+			if err != nil {
+				return err
+			}
+			rp, err := store.Get(c.right, probers[w])
+			if err != nil {
+				return err
+			}
+			p := probers[w].Product(lp, rp)
+			c.nd.unique = p.IsUnique()
+			return store.Put(c.nd.set, c.left, c.right, k+1, p)
+		})
+		if perr != nil {
+			return failKeys(res, store, start, perr)
+		}
+		// Level k's partitions were only needed as product inputs.
+		store.Forget(k)
+		next := make([]*node, len(cands))
+		for i, c := range cands {
+			next[i] = c.nd
 		}
 		level = next
 	}
 	res.Keys.Sort()
+	res.Stats = store.Stats()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
 // failKeys finalises an interrupted search: governed errors keep the keys
 // confirmed so far as a partial result, anything else drops them.
-func failKeys(res *Result, start time.Time, err error) (*Result, error) {
+func failKeys(res *Result, store *pstore.Store, start time.Time, err error) (*Result, error) {
 	if !guard.Governed(err) {
 		return nil, err
 	}
 	res.Partial = true
 	res.Keys.Sort()
+	res.Stats = store.Stats()
 	res.Elapsed = time.Since(start)
 	return res, err
 }

@@ -2,13 +2,29 @@ package keys
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/attrset"
 	"repro/internal/fd"
+	"repro/internal/guard"
 	"repro/internal/relation"
 )
+
+func TestOptionsValidate(t *testing.T) {
+	for _, opts := range []Options{{Workers: -1}, {MaxPartitionBytes: -1}} {
+		if err := opts.Validate(); !errors.Is(err, guard.ErrInvalidOptions) {
+			t.Errorf("Validate(%+v) = %v, want ErrInvalidOptions", opts, err)
+		}
+		if _, err := DiscoverOpts(context.Background(), relation.PaperExample(), opts); !errors.Is(err, guard.ErrInvalidOptions) {
+			t.Errorf("DiscoverOpts(%+v) err = %v, want ErrInvalidOptions", opts, err)
+		}
+	}
+	if err := (Options{Workers: 4, MaxPartitionBytes: 1 << 20}).Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
 
 func set(spec string) attrset.Set {
 	s, ok := attrset.Parse(spec)

@@ -157,6 +157,15 @@ func (p *Partition) Classes() [][]int {
 // Size returns ||π̂||, the total number of tuples across stripped classes.
 func (p *Partition) Size() int { return len(p.rows) }
 
+// Bytes returns the heap footprint of the partition: the flat row store,
+// the class offsets, and the struct header. This is the unit the
+// memory-bounded partition store charges, so it must track the real cost
+// of keeping a partition resident.
+func (p *Partition) Bytes() int64 {
+	const header = 56 // two slice headers + NumRows
+	return int64(len(p.rows))*8 + int64(len(p.offs))*4 + header
+}
+
 // FullClassCount returns |π_X| of the unstripped partition: stripped
 // classes plus the singletons that stripping removed.
 func (p *Partition) FullClassCount() int {

@@ -1,0 +1,305 @@
+// Package pstore is a memory-bounded store for the stripped partitions a
+// levelwise lattice search materialises (TANE, candidate keys).
+//
+// The levelwise searches keep one partition per candidate attribute set of
+// the current level, and each level can be exponentially wide — on large
+// or highly correlated relations the partitions, not the attribute sets,
+// are what exhausts memory. The store makes that footprint explicit and
+// bounded: every partition is charged by its actual byte footprint
+// (partition.Bytes) against a configurable cap, and when the resident
+// bytes exceed the cap, partitions are evicted LRU, oldest lattice level
+// first. An evicted partition is not lost: the store records each
+// partition's product path (the two parent sets it was multiplied from),
+// so a Get of an evicted partition transparently recomputes it by
+// re-multiplying along the path down to the pinned single-attribute roots
+// — TANE's classic forget-and-recompute trade, here taken on demand
+// instead of up front.
+//
+// Root partitions (the single-attribute partitions π̂_A and π̂_∅) are
+// pinned outside the cap: they are the recomputation base, their total
+// size is O(|r|·|R|) and known before the search starts, and without them
+// a miss could not bottom out.
+//
+// The byte charge is also wired into the run's shared guard.Budget (when
+// one is attached): every materialisation — first build and recompute
+// alike — charges its bytes, so a governed run that would otherwise grow
+// without bound degrades into a partial result instead of OOMing. The
+// budget counts cumulative volume (guard's monotone-counter contract);
+// the cap bounds the *resident* set.
+//
+// All methods are safe for concurrent use by pool workers. Recomputation
+// runs outside the store lock on the calling worker's own Prober, so two
+// workers may race to recompute the same partition; the products are
+// deterministic, so the race wastes work but never changes results.
+package pstore
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/attrset"
+	"repro/internal/faultinject"
+	"repro/internal/guard"
+	"repro/internal/partition"
+)
+
+// Stats are the store's observability counters. Hits, Misses and
+// Recomputes depend on eviction timing and therefore on worker
+// scheduling; the FD covers computed from the partitions do not.
+type Stats struct {
+	// Hits counts Gets served from a resident partition.
+	Hits int64
+	// Misses counts Gets of an evicted partition (each triggers a
+	// recompute).
+	Misses int64
+	// Evictions counts partitions dropped to stay under the cap.
+	Evictions int64
+	// Recomputes counts partitions re-multiplied along their product
+	// path, including the intermediate parents a deep miss rebuilds.
+	Recomputes int64
+	// ResidentBytes is the current footprint of cap-governed (non-root)
+	// partitions.
+	ResidentBytes int64
+	// PeakBytes is the largest ResidentBytes ever observed after
+	// evictions settled; with a cap set it never exceeds CapBytes.
+	PeakBytes int64
+	// RootBytes is the pinned footprint of the root partitions, outside
+	// the cap.
+	RootBytes int64
+	// CapBytes echoes the configured cap (0 = unbounded).
+	CapBytes int64
+}
+
+// entry is the per-attribute-set record: the partition when resident, and
+// the product path for recomputation when not. Records persist for the
+// whole run even after their partition is evicted or forgotten — a live
+// set's path may run through any number of dead levels.
+type entry struct {
+	set         attrset.Set
+	part        *partition.Partition // nil when evicted
+	left, right attrset.Set          // product path; zero sets on roots
+	level       int
+	root        bool
+	indexed     bool // already appended to its byLevel slice
+	bytes       int64
+	elem        *list.Element // position in its level's LRU list; nil when not resident
+}
+
+// Store is the memory-bounded partition store of one levelwise search.
+type Store struct {
+	mu       sync.Mutex
+	capBytes int64
+	budget   *guard.Budget
+	entries  map[attrset.Set]*entry
+	// byLevel[l] indexes every non-root level-l entry ever installed, so
+	// Forget can find a dead level's residents without the search
+	// enumerating them. Entries stay indexed after eviction (re-scanning
+	// a forgotten level is a cheap pointer walk).
+	byLevel map[int][]*entry
+	// lru[l] is the LRU list of resident non-root level-l partitions,
+	// least recently used at the front. Eviction drains the lowest level
+	// first: older levels are only ever needed again as recompute
+	// intermediates, so they are the cheapest to forget. Only maintained
+	// under a cap — an unbounded store never evicts, so it skips the
+	// per-entry list bookkeeping entirely.
+	lru   map[int]*list.List
+	stats Stats
+}
+
+// New creates a store with the given resident-byte cap (0 = unbounded).
+// When budget is non-nil, every partition materialisation charges its
+// byte footprint to it under the "pstore" phase.
+func New(capBytes int64, budget *guard.Budget) *Store {
+	return &Store{
+		capBytes: capBytes,
+		budget:   budget,
+		entries:  map[attrset.Set]*entry{},
+		byLevel:  map[int][]*entry{},
+		lru:      map[int]*list.List{},
+		stats:    Stats{CapBytes: capBytes},
+	}
+}
+
+// PutRoot pins a root partition (a single-attribute partition, or π̂_∅):
+// never evicted, not counted against the cap, the base every recompute
+// path bottoms out at.
+func (s *Store) PutRoot(x attrset.Set, p *partition.Partition) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[x] = &entry{set: x, part: p, level: x.Len(), root: true, bytes: p.Bytes()}
+	s.stats.RootBytes += p.Bytes()
+}
+
+// Put stores the partition of x, recording its product path
+// π̂_x = π̂_left · π̂_right, charges its bytes, and evicts LRU-per-level
+// until the store is back under the cap (possibly evicting x itself when
+// the cap is tighter than one partition). A budget overrun surfaces as
+// the budget's typed error; the store stays consistent.
+func (s *Store) Put(x, left, right attrset.Set, level int, p *partition.Partition) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[x]
+	if e == nil {
+		e = &entry{set: x, left: left, right: right, level: level}
+		s.entries[x] = e
+	}
+	return s.install(e, p)
+}
+
+// install makes p resident for e, charging and evicting. Callers hold mu.
+func (s *Store) install(e *entry, p *partition.Partition) error {
+	if err := s.budget.Charge("pstore", int(p.Bytes())); err != nil {
+		return err
+	}
+	if e.part == nil {
+		e.part = p
+		e.bytes = p.Bytes()
+		s.stats.ResidentBytes += e.bytes
+		if !e.indexed {
+			e.indexed = true
+			s.byLevel[e.level] = append(s.byLevel[e.level], e)
+		}
+		if s.capBytes > 0 {
+			l := s.lru[e.level]
+			if l == nil {
+				l = list.New()
+				s.lru[e.level] = l
+			}
+			e.elem = l.PushBack(e)
+		}
+	}
+	if err := s.evictOverCap(); err != nil {
+		return err
+	}
+	if s.stats.ResidentBytes > s.stats.PeakBytes {
+		s.stats.PeakBytes = s.stats.ResidentBytes
+	}
+	return nil
+}
+
+// evictOverCap drops least-recently-used partitions, lowest level first,
+// until the resident bytes fit the cap. Callers hold mu.
+func (s *Store) evictOverCap() error {
+	if s.capBytes <= 0 {
+		return nil
+	}
+	for s.stats.ResidentBytes > s.capBytes {
+		victim := s.oldest()
+		if victim == nil {
+			return nil // nothing evictable left
+		}
+		if err := faultinject.Fire(faultinject.PstoreEvict); err != nil {
+			return err
+		}
+		s.lru[victim.level].Remove(victim.elem)
+		victim.elem = nil
+		victim.part = nil
+		s.stats.ResidentBytes -= victim.bytes
+		s.stats.Evictions++
+	}
+	return nil
+}
+
+// oldest returns the LRU entry of the lowest level with residents, or nil.
+// Callers hold mu.
+func (s *Store) oldest() *entry {
+	best := -1
+	for level, l := range s.lru {
+		if l.Len() > 0 && (best < 0 || level < best) {
+			best = level
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return s.lru[best].Front().Value.(*entry)
+}
+
+// Get returns the partition of x, recomputing it along the recorded
+// product path when it was evicted. The caller's prober does the
+// products, so concurrent workers never share scratch state. The
+// recomputed partition is re-installed (and re-charged) subject to the
+// cap, so repeat access within a level amortises.
+func (s *Store) Get(x attrset.Set, pr *partition.Prober) (*partition.Partition, error) {
+	s.mu.Lock()
+	e := s.entries[x]
+	if e == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("pstore: no record for set %v", x)
+	}
+	if e.part != nil {
+		p := e.part
+		if !e.root {
+			s.stats.Hits++
+			if e.elem != nil {
+				s.lru[e.level].MoveToBack(e.elem)
+			}
+		}
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.stats.Misses++
+	left, right := e.left, e.right
+	s.mu.Unlock()
+
+	if err := faultinject.Fire(faultinject.PstoreRecompute); err != nil {
+		return nil, err
+	}
+	lp, err := s.Get(left, pr)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := s.Get(right, pr)
+	if err != nil {
+		return nil, err
+	}
+	p := pr.Product(lp, rp)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Recomputes++
+	if e.part != nil {
+		// Another worker recomputed it meanwhile; both products are
+		// identical, keep the resident one.
+		return e.part, nil
+	}
+	if err := s.install(e, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Forget drops the resident partitions of every non-root level ≤ maxLevel
+// — the levels a search has finished with. The records (product paths)
+// persist, so the partitions remain recomputable as intermediates of
+// deeper misses; only their bytes are released. Dropping dead levels is
+// not an eviction: it is the search declaring the bytes free, so the
+// eviction counter and hook do not fire.
+func (s *Store) Forget(maxLevel int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for level, es := range s.byLevel {
+		if level > maxLevel {
+			continue
+		}
+		for _, e := range es {
+			if e.part == nil {
+				continue
+			}
+			if e.elem != nil {
+				s.lru[e.level].Remove(e.elem)
+				e.elem = nil
+			}
+			e.part = nil
+			s.stats.ResidentBytes -= e.bytes
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

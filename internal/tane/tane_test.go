@@ -2,11 +2,13 @@ package tane
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/attrset"
 	"repro/internal/fd"
+	"repro/internal/guard"
 	"repro/internal/relation"
 )
 
@@ -118,6 +120,57 @@ func TestEpsilonValidation(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), r, Options{Epsilon: 1.0}); err == nil {
 		t.Error("epsilon = 1 accepted")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{Epsilon: -0.1},
+		{Epsilon: 1},
+		{MaxLHS: -1},
+		{Workers: -1},
+		{MaxPartitionBytes: -1},
+	}
+	for _, opts := range bad {
+		if err := opts.Validate(); !errors.Is(err, guard.ErrInvalidOptions) {
+			t.Errorf("Validate(%+v) = %v, want ErrInvalidOptions", opts, err)
+		}
+		if _, err := Run(context.Background(), relation.PaperExample(), opts); !errors.Is(err, guard.ErrInvalidOptions) {
+			t.Errorf("Run(%+v) err = %v, want ErrInvalidOptions", opts, err)
+		}
+	}
+	good := Options{Epsilon: 0.5, MaxLHS: 3, Workers: 8, MaxPartitionBytes: 1 << 20}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+// TestWorkersAndCapIdenticalCover pins the package-level determinism
+// contract on the paper example: every (Workers, MaxPartitionBytes)
+// combination yields the sequential, unbounded cover.
+func TestWorkersAndCapIdenticalCover(t *testing.T) {
+	r := relation.PaperExample()
+	want, err := Run(context.Background(), r, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 8} {
+		for _, cap := range []int64{0, 1, 2048} {
+			res, err := Run(context.Background(), r, Options{Workers: workers, MaxPartitionBytes: cap})
+			if err != nil {
+				t.Fatalf("workers=%d cap=%d: %v", workers, cap, err)
+			}
+			if !coversIdentical(res.FDs, want.FDs) {
+				t.Errorf("workers=%d cap=%d: cover differs:\n got %v\nwant %v",
+					workers, cap, res.FDs, want.FDs)
+			}
+			if res.LatticeNodes != want.LatticeNodes || res.Levels != want.Levels {
+				t.Errorf("workers=%d cap=%d: lattice counters differ", workers, cap)
+			}
+			if cap > 0 && res.Stats.PeakBytes > cap {
+				t.Errorf("workers=%d cap=%d: PeakBytes %d over cap", workers, cap, res.Stats.PeakBytes)
+			}
+		}
 	}
 }
 

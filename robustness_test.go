@@ -37,6 +37,17 @@ func runForPoint(t *testing.T, point string) (error, bool) {
 	case faultinject.TANELevel:
 		res, err := DiscoverTANE(ctx, r, TANEOptions{})
 		return err, res != nil && res.Partial
+	case faultinject.PstoreEvict:
+		// A 1-byte cap makes every Put evict its own partition.
+		res, err := DiscoverTANE(ctx, r, TANEOptions{MaxPartitionBytes: 1})
+		return err, res != nil && res.Partial
+	case faultinject.PstoreRecompute:
+		// Exact mode never re-reads a partition on the paper example (its
+		// lattice dies at level 2), but approximate mode fetches every
+		// level's partitions for the g₃ tests — under a 1-byte cap those
+		// Gets miss and recompute.
+		res, err := DiscoverTANE(ctx, r, TANEOptions{Epsilon: 0.05, MaxPartitionBytes: 1})
+		return err, res != nil && res.Partial
 	case faultinject.KeysLevel:
 		res, err := DiscoverKeys(ctx, r)
 		return err, res != nil && res.Partial
@@ -116,6 +127,63 @@ func TestFaultInjectionMidRun(t *testing.T) {
 	}
 	if res == nil || !res.Partial {
 		t.Fatal("no partial result")
+	}
+}
+
+// TestPstoreFaultMidSearch injects failures into the partition store's
+// eviction and recompute paths after the first few crossings, so a
+// tightly capped TANE search dies mid-level with completed levels in
+// hand. The run must surface a governed partial result — a subset of the
+// full cover, every FD of which holds on the instance — never a raw
+// panic or a wrong dependency.
+func TestPstoreFaultMidSearch(t *testing.T) {
+	leakcheck.Check(t)
+	ctx := context.Background()
+	r, err := Generate(GenerateSpec{Attrs: 8, Rows: 400, Correlation: 0.6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DiscoverTANE(ctx, r, TANEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inCover := map[FD]bool{}
+	for _, f := range full.FDs {
+		inCover[f] = true
+	}
+	for _, point := range []string{faultinject.PstoreEvict, faultinject.PstoreRecompute} {
+		for _, after := range []int{0, 3, 25} {
+			t.Run(fmt.Sprintf("%s/after=%d", point, after), func(t *testing.T) {
+				leakcheck.Check(t)
+				faultinject.Set(point, faultinject.After(after, faultinject.PanicWith("late pstore fault")))
+				defer faultinject.Reset()
+				res, derr := DiscoverTANE(ctx, r, TANEOptions{MaxPartitionBytes: 1, Workers: 2})
+				if derr == nil {
+					t.Fatal("1-byte cap never crossed the armed hook")
+				}
+				if !errors.Is(derr, guard.ErrPanic) {
+					t.Fatalf("err = %v, want contained panic", derr)
+				}
+				if res == nil || !res.Partial {
+					t.Fatal("no partial result")
+				}
+				for _, f := range res.FDs {
+					if !inCover[f] {
+						t.Errorf("partial cover invents %s, absent from the full cover", f)
+					}
+				}
+				if ok, bad := Verify(r, res.FDs); !ok {
+					t.Errorf("partial cover contains %s, which does not hold", bad)
+				}
+			})
+		}
+	}
+	// A plain injected error (not governed) must drop the result entirely.
+	faultinject.Set(faultinject.PstoreEvict, faultinject.FailWith(errInjected))
+	defer faultinject.Reset()
+	res, derr := DiscoverTANE(ctx, r, TANEOptions{MaxPartitionBytes: 1})
+	if !errors.Is(derr, errInjected) || res != nil {
+		t.Fatalf("res=%v err=%v, want nil result with the injected sentinel", res, derr)
 	}
 }
 
