@@ -42,23 +42,20 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
 	flag.Parse()
-	ctx, stop := cli.Context()
-	defer stop()
-	stopProf, err := startProfiles(profileOpts{cpu: *cpuProf, mem: *memProf, trace: *traceOut})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchmark:", err)
-		os.Exit(1)
-	}
-	err = run(ctx, *experiment, *full, *timeout, *seed, *workers, *csvOut, *quiet)
-	// Profiles must be finalised before os.Exit, and written even when the
-	// run fails — a governed overrun is exactly when a profile is wanted.
-	if perr := stopProf(); perr != nil && err == nil {
-		err = perr
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchmark:", err)
-		os.Exit(cli.Code(ctx, err))
-	}
+	cli.Main("benchmark", func(ctx context.Context) error {
+		stopProf, err := startProfiles(profileOpts{cpu: *cpuProf, mem: *memProf, trace: *traceOut})
+		if err != nil {
+			return err
+		}
+		err = run(ctx, *experiment, *full, *timeout, *seed, *workers, *csvOut, *quiet)
+		// Profiles must be finalised before the process exits, and written
+		// even when the run fails — a governed overrun is exactly when a
+		// profile is wanted.
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+		return err
+	})
 }
 
 // profileOpts names the output files of the requested profilers; empty

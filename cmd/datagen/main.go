@@ -10,7 +10,6 @@ import (
 	"bufio"
 	"context"
 	"flag"
-	"fmt"
 	"io"
 	"os"
 
@@ -27,12 +26,9 @@ func main() {
 		out   = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
-	ctx, stop := cli.Context()
-	defer stop()
-	if err := run(ctx, *attrs, *rows, *c, *seed, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(cli.Code(ctx, err))
-	}
+	cli.Main("datagen", func(ctx context.Context) error {
+		return run(ctx, *attrs, *rows, *c, *seed, *out)
+	})
 }
 
 func run(ctx context.Context, attrs, rows int, c float64, seed uint64, out string) error {

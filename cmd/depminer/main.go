@@ -55,18 +55,12 @@ func main() {
 	flag.Parse()
 	cfg.args = flag.Args()
 
-	ctx, stop := cli.Context()
-	defer stop()
-	var err error
-	if stream {
-		err = cfg.runStreamed(ctx)
-	} else {
-		err = cfg.run(ctx)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "depminer:", err)
-		os.Exit(cli.Code(ctx, err))
-	}
+	cli.Main("depminer", func(ctx context.Context) error {
+		if stream {
+			return cfg.runStreamed(ctx)
+		}
+		return cfg.run(ctx)
+	})
 }
 
 // newBudget builds the run's budget from -timeout and -budget. A zero

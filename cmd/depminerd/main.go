@@ -1,0 +1,103 @@
+// Command depminerd is the FD-discovery server: a long-running HTTP
+// (JSON) daemon owning a dataset registry, an admission-controlled job
+// queue, a fingerprint-keyed result cache, and incremental discovery
+// sessions — the serving layer composing every pipeline in this
+// repository into one process.
+//
+// Usage:
+//
+//	depminerd -addr 127.0.0.1:8080
+//
+// Endpoints (see README "Running the server" for curl examples):
+//
+//	POST /v1/datasets            register a CSV relation (?name=, ?header=)
+//	GET  /v1/datasets            list registered datasets
+//	GET  /v1/datasets/{id}       one dataset's info
+//	POST /v1/datasets/{id}/rows  append headerless CSV rows incrementally
+//	POST /v1/discover            run (or fetch cached) FD discovery
+//	GET  /v1/jobs/{id}           poll an async discovery job
+//	GET  /v1/stats               queue, cache, phase-timing, pstore counters
+//	GET  /healthz                liveness + drain state
+//
+// SIGINT/SIGTERM starts a graceful drain: in-flight discoveries finish
+// under their budgets while new work is refused; a second signal kills
+// the process (the internal/cli signal contract). A clean drain exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+// config carries the resolved command-line configuration.
+type config struct {
+	addr         string
+	drainTimeout time.Duration
+	server       server.Config
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight discoveries")
+	flag.IntVar(&cfg.server.MaxJobs, "max-jobs", 4, "cap on concurrently running discoveries; excess requests get 429 + Retry-After")
+	flag.IntVar(&cfg.server.SyncRowLimit, "sync-rows", 5000, "datasets up to this many rows run /v1/discover synchronously; larger ones become async jobs")
+	flag.DurationVar(&cfg.server.MaxTimeout, "max-timeout", 2*time.Minute, "cap (and default) for per-request discovery deadlines")
+	flag.Int64Var(&cfg.server.MaxBudgetUnits, "max-budget", 0, "cap (and default) for per-request guard unit budgets; 0 = ungoverned by units")
+	flag.Int64Var(&cfg.server.MaxBodyBytes, "max-body-bytes", 32<<20, "cap on request bodies (CSV uploads)")
+	flag.IntVar(&cfg.server.MaxDatasets, "max-datasets", 64, "cap on registered datasets")
+	flag.IntVar(&cfg.server.CacheEntries, "cache-entries", 128, "cap on result-cache entries (LRU)")
+	flag.IntVar(&cfg.server.Workers, "workers", 0, "default worker-pool width for discoveries (0 = all cores)")
+	flag.Parse()
+
+	cli.Main("depminerd", func(ctx context.Context) error {
+		return run(ctx, cfg, func(addr string) {
+			fmt.Printf("depminerd: listening on http://%s\n", addr)
+		})
+	})
+}
+
+// run serves until ctx is cancelled (the signal context), then drains.
+// ready is called with the bound address once the listener is up — the
+// smoke tests and -addr :0 users discover the port from it.
+func run(ctx context.Context, cfg config, ready func(addr string)) error {
+	srv := server.New(cfg.server)
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case serr := <-errc:
+		return serr
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "depminerd: draining (in-flight discoveries finish under their budgets; signal again to kill)")
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	derr := srv.Shutdown(dctx)
+	herr := hs.Shutdown(dctx)
+	if herr != nil && !errors.Is(herr, http.ErrServerClosed) {
+		derr = errors.Join(derr, herr)
+	}
+	// A clean drain after a signal is the daemon's normal exit: code 0.
+	return derr
+}

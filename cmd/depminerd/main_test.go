@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, drives
+// one register → discover round trip over real HTTP, then cancels the
+// context and expects a clean (nil-error) drain.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	cfg := config{addr: "127.0.0.1:0", drainTimeout: 10 * time.Second}
+	go func() {
+		errc <- run(ctx, cfg, func(addr string) { addrc <- addr })
+	}()
+
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	csv := "a,b,c\n1,x,p\n2,x,q\n3,y,p\n"
+	resp, err = http.Post(base+"/v1/datasets?name=t", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	var reg struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatalf("register decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || reg.ID == "" {
+		t.Fatalf("register status = %d id = %q", resp.StatusCode, reg.ID)
+	}
+
+	body := fmt.Sprintf(`{"dataset":%q}`, reg.ID)
+	resp, err = http.Post(base+"/v1/discover", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("discover: %v", err)
+	}
+	var disc struct {
+		FDs []string `json:"fds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&disc); err != nil {
+		t.Fatalf("discover decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(disc.FDs) == 0 {
+		t.Fatalf("discover status = %d fds = %v", resp.StatusCode, disc.FDs)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("drain returned error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain")
+	}
+}

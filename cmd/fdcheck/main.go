@@ -41,15 +41,13 @@ func main() {
 		budget   = flag.Int64("budget", 0, "resource budget in work units for -explain discovery (0 = unlimited)")
 	)
 	flag.Parse()
-	ctx, stop := cli.Context()
-	defer stop()
-	if err := run(ctx, *fdsPath, *noHeader, *explain, *timeout, *budget, flag.Args()); err != nil {
+	cli.Main("fdcheck", func(ctx context.Context) error {
+		err := run(ctx, *fdsPath, *noHeader, *explain, *timeout, *budget, flag.Args())
 		if errors.Is(err, errRulesViolated) {
-			os.Exit(2)
+			return cli.WithExitCode(err, cli.ExitChecked)
 		}
-		fmt.Fprintln(os.Stderr, "fdcheck:", err)
-		os.Exit(cli.Code(ctx, err))
-	}
+		return err
+	})
 }
 
 func run(ctx context.Context, fdsPath string, noHeader, explain bool, timeout time.Duration, budget int64, args []string) error {

@@ -49,12 +49,7 @@ func main() {
 	flag.Parse()
 	cfg.args = flag.Args()
 
-	ctx, stop := cli.Context()
-	defer stop()
-	if err := cfg.run(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "tane:", err)
-		os.Exit(cli.Code(ctx, err))
-	}
+	cli.Main("tane", cfg.run)
 }
 
 func (cfg *config) run(ctx context.Context) error {

@@ -1,7 +1,7 @@
-// Package cli centralises behaviour shared by every command-line tool in
-// this repository: POSIX-style signal handling and a common exit-code
-// contract, so that scripts driving the miners can distinguish "bad
-// input" from "ran out of budget" from "operator pressed Ctrl-C".
+// Package cli centralises behaviour shared by every command-line tool and
+// daemon in this repository: POSIX-style signal handling and a common
+// exit-code contract, so that scripts driving the miners can distinguish
+// "bad input" from "ran out of budget" from "operator pressed Ctrl-C".
 //
 // Exit codes:
 //
@@ -16,6 +16,7 @@ package cli
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,17 +28,62 @@ import (
 const (
 	ExitOK          = 0
 	ExitError       = 1
+	ExitChecked     = 2
 	ExitBudget      = 3
 	ExitInterrupted = 130
 )
 
-// Context returns a context cancelled on SIGINT or SIGTERM, plus its stop
-// function. The first signal cancels the context (letting in-flight
-// phases unwind and partial results print); a second signal kills the
-// process via the default handler, because stop() restores it — callers
-// should defer stop().
-func Context() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+// NotifyContext returns a copy of parent cancelled on SIGINT or SIGTERM,
+// plus its stop function. The first signal cancels the context (letting
+// in-flight phases unwind, partial results print, and servers drain); a
+// second signal kills the process via the default handler, because stop()
+// restores it — callers should defer stop(). This is the one signal path
+// shared by the five CLIs and the depminerd daemon.
+func NotifyContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// Main is the shared entry-point wrapper: it installs the signal context,
+// runs the tool, prints a failure to stderr prefixed with the command
+// name, and exits with the contract code. Commands call it from main()
+// after flag parsing, so signal handling and exit-code mapping cannot
+// drift between tools.
+func Main(name string, run func(ctx context.Context) error) {
+	ctx, stop := NotifyContext(context.Background())
+	err := run(ctx)
+	stop()
+	if err == nil {
+		return
+	}
+	code := Code(ctx, err)
+	// "Checked and failed" outcomes (exit 2) already reported themselves
+	// on stdout; everything else gets the conventional stderr line.
+	if code != ExitChecked {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	}
+	osExit(code)
+}
+
+// osExit is swapped out by tests of Main.
+var osExit = os.Exit
+
+// exitError carries an explicit exit code chosen by the tool (e.g.
+// fdcheck's "rules violated" → 2), overriding Code's classification.
+type exitError struct {
+	err  error
+	code int
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
+// WithExitCode attaches an explicit exit code to err; Code returns it
+// unchanged. A nil err stays nil.
+func WithExitCode(err error, code int) error {
+	if err == nil {
+		return nil
+	}
+	return &exitError{err: err, code: code}
 }
 
 // Code maps an error from a miner run to the exit-code contract. ctx
@@ -46,6 +92,10 @@ func Context() (context.Context, context.CancelFunc) {
 func Code(ctx context.Context, err error) int {
 	if err == nil {
 		return ExitOK
+	}
+	var ee *exitError
+	if errors.As(err, &ee) {
+		return ee.code
 	}
 	if errors.Is(err, guard.ErrBudget) || errors.Is(err, guard.ErrDeadline) ||
 		errors.Is(err, context.DeadlineExceeded) {

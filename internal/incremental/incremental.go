@@ -26,6 +26,7 @@ import (
 	"repro/internal/attrset"
 	"repro/internal/core"
 	"repro/internal/fd"
+	"repro/internal/guard"
 	"repro/internal/relation"
 )
 
@@ -70,12 +71,19 @@ func New(names []string) (*Miner, error) {
 
 // FromRelation builds a miner pre-loaded with a relation's tuples.
 func FromRelation(r *relation.Relation) (*Miner, error) {
+	return FromRelationCtx(context.Background(), r)
+}
+
+// FromRelationCtx is FromRelation under a context: loading aborts
+// mid-relation (and mid-scan within a tuple) when ctx is cancelled,
+// returning an error wrapping guard.ErrDeadline.
+func FromRelationCtx(ctx context.Context, r *relation.Relation) (*Miner, error) {
 	m, err := New(r.Names())
 	if err != nil {
 		return nil, err
 	}
 	for t := 0; t < r.Rows(); t++ {
-		if err := m.Insert(r.Row(t)); err != nil {
+		if err := m.InsertCtx(ctx, r.Row(t)); err != nil {
 			return nil, err
 		}
 	}
@@ -93,8 +101,29 @@ func (m *Miner) Names() []string { return m.names }
 
 // Insert adds one tuple and updates ag(r).
 func (m *Miner) Insert(row []string) error {
+	return m.InsertCtx(context.Background(), row)
+}
+
+// insertCheckStride is how many candidate couples are processed between
+// context checks during an insert's agree-set scan. The scan is the
+// O(candidates · |R|) heart of an insert, so on wide or hot-value
+// relations it can run long past any deadline if only checked at entry.
+const insertCheckStride = 256
+
+// InsertCtx adds one tuple and updates ag(r), honouring ctx cancellation
+// mid-scan: the candidate sweep checks ctx every insertCheckStride
+// couples and aborts with an error wrapping the typed guard.ErrDeadline
+// (not a bare ctx error), so governed callers classify the outcome with
+// one errors.Is test. An aborted insert leaves the miner's tuple state
+// unchanged — agree sets are staged and committed only after the scan
+// completes — so the session stays consistent and the insert can be
+// retried.
+func (m *Miner) InsertCtx(ctx context.Context, row []string) error {
 	if len(row) != len(m.names) {
 		return fmt.Errorf("incremental: row arity %d, schema %d", len(row), len(m.names))
+	}
+	if err := insertCtxErr(ctx); err != nil {
+		return err
 	}
 	t := m.rows
 	// Encode and collect candidate partners: tuples sharing ≥ 1 value.
@@ -121,23 +150,41 @@ func (m *Miner) Insert(row []string) error {
 			}
 		}
 	}
-	// Agree sets of the new couples.
-	for _, u := range candidates {
+	// Agree sets of the new couples, staged so an abort commits nothing.
+	staged := make([]attrset.Set, 0, len(candidates))
+	for i, u := range candidates {
+		if i%insertCheckStride == 0 {
+			if err := insertCtxErr(ctx); err != nil {
+				return err
+			}
+		}
 		var s attrset.Set
 		for a := range codes {
 			if m.cols[a][u] == codes[a] {
 				s.Add(a)
 			}
 		}
-		m.agree[s] = struct{}{}
-		m.nonEmptyCouples++
+		staged = append(staged, s)
 	}
-	// Commit the tuple.
+	// Commit: agree sets first, then the tuple itself.
+	for _, s := range staged {
+		m.agree[s] = struct{}{}
+	}
+	m.nonEmptyCouples += len(staged)
 	for a, code := range codes {
 		m.buckets[a][code] = append(m.buckets[a][code], t)
 		m.cols[a] = append(m.cols[a], code)
 	}
 	m.rows++
+	return nil
+}
+
+// insertCtxErr translates a cancelled or expired context into the typed
+// guard.ErrDeadline sentinel, preserving the underlying cause for logs.
+func insertCtxErr(ctx context.Context) error {
+	if cause := ctx.Err(); cause != nil {
+		return fmt.Errorf("incremental: insert aborted: %w (%v)", guard.ErrDeadline, cause)
+	}
 	return nil
 }
 

@@ -2,14 +2,17 @@ package incremental
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/agree"
 	"repro/internal/attrset"
 	"repro/internal/core"
 	"repro/internal/fd"
+	"repro/internal/guard"
 	"repro/internal/relation"
 )
 
@@ -231,5 +234,80 @@ func TestCancellation(t *testing.T) {
 	cancel()
 	if _, err := m.Cover(ctx); err == nil {
 		t.Error("cancelled context should abort Cover")
+	}
+}
+
+func TestInsertCtxCancelledLeavesMinerUnchanged(t *testing.T) {
+	m, err := FromRelation(relation.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsBefore := m.Rows()
+	agreeBefore := m.AgreeSets()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = m.InsertCtx(ctx, relation.PaperExample().Row(0))
+	if err == nil {
+		t.Fatal("cancelled context should abort InsertCtx")
+	}
+	if !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("InsertCtx abort error = %v, want guard.ErrDeadline in the chain", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("InsertCtx must return the typed sentinel, not the bare ctx error: %v", err)
+	}
+	if m.Rows() != rowsBefore {
+		t.Fatalf("aborted insert changed Rows: %d → %d", rowsBefore, m.Rows())
+	}
+	after := m.AgreeSets()
+	if len(after) != len(agreeBefore) {
+		t.Fatalf("aborted insert changed ag(r): %d → %d sets", len(agreeBefore), len(after))
+	}
+	for i := range after {
+		if after[i] != agreeBefore[i] {
+			t.Fatalf("aborted insert changed ag(r) at %d", i)
+		}
+	}
+	// The miner must remain usable: the same insert succeeds afterwards.
+	if err := m.Insert(relation.PaperExample().Row(0)); err != nil {
+		t.Fatalf("retry after aborted insert failed: %v", err)
+	}
+	if m.Rows() != rowsBefore+1 {
+		t.Fatalf("retry did not commit: Rows = %d", m.Rows())
+	}
+}
+
+func TestInsertCtxHonoursMidScanDeadline(t *testing.T) {
+	// A relation whose every tuple shares a value with the next insert
+	// produces rows-1 candidate couples, forcing the scan past several
+	// stride boundaries so the mid-scan check (not the entry check) must
+	// fire. The deadline context is created already expired.
+	const rows = 4 * insertCheckStride
+	m, err := New([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := m.Insert([]string{"shared", strconv.Itoa(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err = m.InsertCtx(ctx, []string{"shared", "fresh"})
+	if !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("expired deadline mid-scan: err = %v, want guard.ErrDeadline", err)
+	}
+	if m.Rows() != rows {
+		t.Fatalf("aborted insert committed: Rows = %d, want %d", m.Rows(), rows)
+	}
+}
+
+func TestFromRelationCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FromRelationCtx(ctx, relation.PaperExample()); !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("FromRelationCtx under cancelled ctx: err = %v, want guard.ErrDeadline", err)
 	}
 }

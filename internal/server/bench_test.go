@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// benchServer boots a server + httptest listener and registers a
+// moderately hard synthetic relation, returning everything a benchmark
+// loop needs. The workload (8 attrs x 1000 rows, c=0.4) is large enough
+// that a cold discovery runs a real pipeline but small enough to stay
+// under the sync threshold.
+func benchServer(b *testing.B) (*Server, *httptest.Server, string, []byte) {
+	b.Helper()
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	b.Cleanup(ts.Close)
+
+	r, err := datagen.Generate(datagen.Spec{Attrs: 8, Rows: 1000, Correlation: 0.4, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/datasets?name=bench", "text/csv", &csv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reg RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("register status = %d", resp.StatusCode)
+	}
+	body := []byte(fmt.Sprintf(`{"dataset":%q,"algorithm":"depminer"}`, reg.ID))
+	return s, ts, reg.ID, body
+}
+
+func benchDiscover(b *testing.B, ts *httptest.Server, body []byte, wantCached bool) {
+	resp, err := http.Post(ts.URL+"/v1/discover", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out DiscoverResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(out.FDs) == 0 {
+		b.Fatalf("discover status = %d, %d fds", resp.StatusCode, len(out.FDs))
+	}
+	if out.Cached != wantCached {
+		b.Fatalf("cached = %t, want %t", out.Cached, wantCached)
+	}
+}
+
+// BenchmarkServerDiscoverCold measures the full request path with the
+// result cache defeated: each iteration invalidates the dataset's
+// entries first, so every response re-runs the Dep-Miner pipeline.
+func BenchmarkServerDiscoverCold(b *testing.B) {
+	s, ts, id, body := benchServer(b)
+	benchDiscover(b, ts, body, false) // warm the dataset snapshot
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cache.invalidateDataset(id)
+		benchDiscover(b, ts, body, false)
+	}
+}
+
+// BenchmarkServerDiscoverCached measures the same request answered from
+// the fingerprint-keyed result cache: HTTP + lookup + JSON only, no
+// pipeline. The cold/cached ratio is the price a repeat caller avoids.
+func BenchmarkServerDiscoverCached(b *testing.B) {
+	_, ts, _, body := benchServer(b)
+	benchDiscover(b, ts, body, false) // populate the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchDiscover(b, ts, body, true)
+	}
+}

@@ -1,0 +1,443 @@
+package server
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/incremental"
+	"repro/internal/relation"
+)
+
+// DatasetInfo is the wire description of a registered dataset.
+type DatasetInfo struct {
+	ID          string    `json:"id"`
+	Name        string    `json:"name,omitempty"`
+	Fingerprint string    `json:"fingerprint"`
+	Rows        int       `json:"rows"`
+	Attributes  int       `json:"attributes"`
+	Names       []string  `json:"names"`
+	Version     int       `json:"version"`
+	Created     time.Time `json:"created"`
+}
+
+// DiscoverRequest is the body of POST /v1/discover.
+type DiscoverRequest struct {
+	// Dataset is the registered dataset id (required).
+	Dataset string `json:"dataset"`
+	// Algorithm is depminer (default), depminer2, fastfds, tane, or
+	// incremental (re-derive from the maintained session, no re-scan).
+	Algorithm string `json:"algorithm"`
+	// Workers is the worker-pool width (0 = server default).
+	Workers int `json:"workers"`
+	// TimeoutMS is the requested deadline, clamped to the server's
+	// MaxTimeout (0 = the server cap).
+	TimeoutMS int64 `json:"timeout_ms"`
+	// BudgetUnits is the requested guard unit budget, clamped to the
+	// server's MaxBudgetUnits.
+	BudgetUnits int64 `json:"budget_units"`
+	// MaxCouples enables the Algorithm 2 → 3 degradation threshold.
+	MaxCouples int `json:"max_couples"`
+	// Epsilon is the approximate-dependency threshold (tane only).
+	Epsilon float64 `json:"epsilon"`
+	// MaxPartitionBytes caps resident partition bytes (tane only).
+	MaxPartitionBytes int64 `json:"max_partition_bytes"`
+	// Armstrong includes the Armstrong relation in the response
+	// (depminer/depminer2 only).
+	Armstrong bool `json:"armstrong"`
+	// Async forces the execution mode; nil applies the server's
+	// row-count threshold.
+	Async *bool `json:"async,omitempty"`
+}
+
+// DiscoverResponse is the outcome of a discovery, inline (sync) or via a
+// job record (async).
+type DiscoverResponse struct {
+	Dataset            string     `json:"dataset"`
+	Fingerprint        string     `json:"fingerprint"`
+	Algorithm          string     `json:"algorithm"`
+	Rows               int        `json:"rows"`
+	Attributes         int        `json:"attributes"`
+	FDs                []string   `json:"fds"`
+	Cached             bool       `json:"cached"`
+	Partial            bool       `json:"partial,omitempty"`
+	Error              string     `json:"error,omitempty"`
+	Notes              []string   `json:"notes,omitempty"`
+	Couples            int        `json:"couples,omitempty"`
+	AgreeSets          int        `json:"agree_sets,omitempty"`
+	MaxSets            int        `json:"max_sets,omitempty"`
+	LatticeNodes       int        `json:"lattice_nodes,omitempty"`
+	DFSNodes           int        `json:"dfs_nodes,omitempty"`
+	Armstrong          [][]string `json:"armstrong,omitempty"`
+	ArmstrongSynthetic bool       `json:"armstrong_synthetic,omitempty"`
+	BudgetUsed         int64      `json:"budget_used,omitempty"`
+	ElapsedMS          float64    `json:"elapsed_ms"`
+}
+
+// JobInfo is the wire description of an async discovery job.
+type JobInfo struct {
+	ID        string            `json:"id"`
+	Dataset   string            `json:"dataset"`
+	Algorithm string            `json:"algorithm"`
+	State     string            `json:"state"`
+	Created   time.Time         `json:"created"`
+	Finished  *time.Time        `json:"finished,omitempty"`
+	Error     string            `json:"error,omitempty"`
+	Result    *DiscoverResponse `json:"result,omitempty"`
+}
+
+// RegisterResponse is the body of POST /v1/datasets.
+type RegisterResponse struct {
+	DatasetInfo
+	// Existing reports idempotent re-registration of identical content.
+	Existing bool `json:"existing,omitempty"`
+}
+
+// AppendResponse is the body of POST /v1/datasets/{id}/rows.
+type AppendResponse struct {
+	ID          string `json:"id"`
+	Appended    int    `json:"appended"`
+	Rows        int    `json:"rows"`
+	Fingerprint string `json:"fingerprint"`
+	Invalidated int    `json:"invalidated"`
+	Error       string `json:"error,omitempty"`
+}
+
+// DiscoveryStats is the discovery section of /v1/stats.
+type DiscoveryStats struct {
+	Total        int64              `json:"total"`
+	Partial      int64              `json:"partial"`
+	Failed       int64              `json:"failed"`
+	Sync         int64              `json:"sync"`
+	Async        int64              `json:"async"`
+	PhaseTotalMS map[string]float64 `json:"phase_total_ms"`
+}
+
+// PstoreStats is the partition-store section of /v1/stats, aggregated
+// over every TANE run the process served.
+type PstoreStats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	Recomputes int64 `json:"recomputes"`
+	PeakBytes  int64 `json:"peak_bytes"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeMS    float64        `json:"uptime_ms"`
+	Draining    bool           `json:"draining"`
+	Datasets    int            `json:"datasets"`
+	Jobs        JobQueueStats  `json:"jobs"`
+	Cache       CacheStats     `json:"cache"`
+	Discoveries DiscoveryStats `json:"discoveries"`
+	Pstore      PstoreStats    `json:"pstore"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// rejectDraining answers 503 on mutating endpoints once Shutdown began.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return true
+	}
+	return false
+}
+
+// handleRegister implements POST /v1/datasets: the body is CSV (first
+// record = attribute names unless ?header=false); ?name= labels the
+// dataset. Identical content registers idempotently.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	header := true
+	if v := r.URL.Query().Get("header"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad header param %q", v)
+			return
+		}
+		header = b
+	}
+	rel, err := relation.Load(r.Body, header)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad CSV: %v", err)
+		return
+	}
+	m, err := incremental.FromRelationCtx(r.Context(), rel)
+	if err != nil {
+		writeError(w, classifyStatus(err), "building incremental session: %v", err)
+		return
+	}
+	d, created, err := s.reg.register(r.URL.Query().Get("name"), rel, m, time.Now())
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, errRegistryFull) {
+			code = http.StatusInsufficientStorage
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	code := http.StatusCreated
+	if !created {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, RegisterResponse{DatasetInfo: d.info(), Existing: !created})
+}
+
+// handleListDatasets implements GET /v1/datasets.
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.list())
+}
+
+// handleGetDataset implements GET /v1/datasets/{id}.
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, d.info())
+}
+
+// handleAppendRows implements POST /v1/datasets/{id}/rows: the body is
+// headerless CSV rows appended to the incremental session. Committed rows
+// update ag(r) and the fingerprint in place — no full re-run — and the
+// dataset's cache entries are invalidated.
+func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	d, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", r.PathValue("id"))
+		return
+	}
+	cr := csv.NewReader(r.Body)
+	cr.FieldsPerRecord = -1
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad CSV: %v", err)
+			return
+		}
+		rows = append(rows, rec)
+	}
+	if len(rows) == 0 {
+		writeError(w, http.StatusBadRequest, "no rows in request body")
+		return
+	}
+	committed, fp, aerr := d.appendRows(r.Context(), rows)
+	invalidated := 0
+	if committed > 0 {
+		invalidated = s.cache.invalidateDataset(d.id)
+	}
+	resp := AppendResponse{
+		ID:          d.id,
+		Appended:    committed,
+		Rows:        d.info().Rows,
+		Fingerprint: fp,
+		Invalidated: invalidated,
+	}
+	if aerr != nil {
+		resp.Error = aerr.Error()
+		code := http.StatusBadRequest
+		if errors.Is(aerr, guard.ErrDeadline) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDiscover implements POST /v1/discover. Cache hits answer
+// immediately (even while draining) without consuming a job slot. Misses
+// pass admission control: over the job cap the request is rejected with
+// 429 + Retry-After. Admitted work runs synchronously for datasets up to
+// SyncRowLimit rows and as an async job (202 + job id) above it; the
+// request's async field overrides the threshold.
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req DiscoverRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	d, ok := s.reg.get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+		return
+	}
+	p, err := s.resolveParams(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	info := d.info()
+	key := cacheKey{fingerprint: info.Fingerprint, algorithm: p.algorithm, options: p.optionsKey()}
+	if resp, hit := s.cache.get(key); hit {
+		out := *resp
+		out.Cached = true
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	if s.rejectDraining(w) {
+		return
+	}
+	if !s.jobs.tryAdmit() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"job queue full: %d discoveries running (cap %d)", s.cfg.MaxJobs, s.cfg.MaxJobs)
+		return
+	}
+
+	async := info.Rows > s.cfg.SyncRowLimit
+	if req.Async != nil {
+		async = *req.Async
+	}
+	if !async {
+		s.wg.Add(1)
+		defer s.wg.Done()
+		defer s.jobs.release()
+		if s.testHookJobStart != nil {
+			s.testHookJobStart(d.id)
+		}
+		resp, rerr := s.runDiscovery(r.Context(), d, p)
+		s.recordOutcome(resp, rerr, false)
+		if rerr != nil {
+			writeError(w, classifyStatus(rerr), "discovery failed: %v", rerr)
+			return
+		}
+		s.maybeCache(d.id, p, resp)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	j := s.jobs.add(d.id, p.algorithm)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.jobs.release()
+		if s.testHookJobStart != nil {
+			s.testHookJobStart(d.id)
+		}
+		resp, rerr := s.runDiscovery(s.baseCtx, d, p)
+		s.recordOutcome(resp, rerr, true)
+		if rerr != nil {
+			j.finish(nil, rerr.Error())
+			return
+		}
+		s.maybeCache(d.id, p, resp)
+		j.finish(resp, "")
+	}()
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.info())
+}
+
+// maybeCache stores complete (non-partial) results under the fingerprint
+// they were actually computed from.
+func (s *Server) maybeCache(datasetID string, p discoverParams, resp *DiscoverResponse) {
+	if resp == nil || resp.Partial {
+		return
+	}
+	key := cacheKey{fingerprint: resp.Fingerprint, algorithm: p.algorithm, options: p.optionsKey()}
+	s.cache.put(datasetID, key, resp)
+}
+
+// recordOutcome bumps the discovery counters.
+func (s *Server) recordOutcome(resp *DiscoverResponse, err error, async bool) {
+	s.stats.mu.Lock()
+	defer s.stats.mu.Unlock()
+	s.stats.total++
+	if async {
+		s.stats.async++
+	} else {
+		s.stats.sync++
+	}
+	switch {
+	case err != nil:
+		s.stats.failed++
+	case resp != nil && resp.Partial:
+		s.stats.partial++
+	}
+}
+
+// handleGetJob implements GET /v1/jobs/{id}.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+// handleStats implements GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.stats.mu.Lock()
+	disc := DiscoveryStats{
+		Total:        s.stats.total,
+		Partial:      s.stats.partial,
+		Failed:       s.stats.failed,
+		Sync:         s.stats.sync,
+		Async:        s.stats.async,
+		PhaseTotalMS: make(map[string]float64, len(s.stats.phases)),
+	}
+	for name, d := range s.stats.phases {
+		disc.PhaseTotalMS[name] = float64(d) / float64(time.Millisecond)
+	}
+	ps := PstoreStats{
+		Hits:       s.stats.pstore.Hits,
+		Misses:     s.stats.pstore.Misses,
+		Evictions:  s.stats.pstore.Evictions,
+		Recomputes: s.stats.pstore.Recomputes,
+		PeakBytes:  s.stats.pstore.PeakBytes,
+	}
+	s.stats.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeMS:    float64(time.Since(s.started)) / float64(time.Millisecond),
+		Draining:    s.Draining(),
+		Datasets:    s.reg.count(),
+		Jobs:        s.jobs.stats(),
+		Cache:       s.cache.stats(),
+		Discoveries: disc,
+		Pstore:      ps,
+	})
+}
+
+// handleHealthz implements GET /healthz: 200 while serving, 503 once
+// draining so load balancers stop routing during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sync"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/incremental"
+	"repro/internal/relation"
+)
+
+// dataset is one registered relation: an incremental discovery session
+// (the miner maintains ag(r) under appends) plus a running content
+// fingerprint. The fingerprint commits the schema and every appended row
+// in order, so it identifies the exact relation instance — the result
+// cache keys on it, which makes append-then-discover a guaranteed miss
+// and repeat discovery a guaranteed hit.
+type dataset struct {
+	id      string
+	name    string
+	created time.Time
+
+	// mu serialises appends against snapshots and incremental
+	// derivations, so every reader sees a consistent (rows, fingerprint)
+	// pair.
+	mu     sync.Mutex
+	miner  *incremental.Miner
+	hasher hash.Hash
+	fp     string
+	// version counts committed appends; the cached snapshot is keyed on
+	// it so discoveries re-materialise the relation only after growth.
+	version     int
+	snap        *relation.Relation
+	snapVersion int
+}
+
+// hashField writes one length-framed string into the running hash;
+// framing keeps ["ab","c"] distinct from ["a","bc"].
+func hashField(h hash.Hash, s string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	h.Write(n[:])
+	h.Write([]byte(s))
+}
+
+func hashRow(h hash.Hash, row []string) {
+	for _, v := range row {
+		hashField(h, v)
+	}
+}
+
+// info snapshots the dataset's wire description.
+func (d *dataset) info() DatasetInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DatasetInfo{
+		ID:          d.id,
+		Name:        d.name,
+		Fingerprint: d.fp,
+		Rows:        d.miner.Rows(),
+		Attributes:  d.miner.Arity(),
+		Names:       append([]string(nil), d.miner.Names()...),
+		Version:     d.version,
+		Created:     d.created,
+	}
+}
+
+// snapshot returns the materialised relation and the fingerprint it
+// corresponds to, rebuilding only when appends happened since the last
+// call.
+func (d *dataset) snapshot() (*relation.Relation, string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.snap == nil || d.snapVersion != d.version {
+		r, err := d.miner.Snapshot()
+		if err != nil {
+			return nil, "", err
+		}
+		d.snap = r
+		d.snapVersion = d.version
+	}
+	return d.snap, d.fp, nil
+}
+
+// appendRows commits rows to the incremental session, updating ag(r) and
+// the running fingerprint per committed row. On a mid-append abort
+// (deadline, cancellation, bad arity) the rows inserted so far stay
+// committed and the fingerprint reflects exactly them, so the dataset
+// remains consistent; the count of committed rows is returned either way.
+func (d *dataset) appendRows(ctx context.Context, rows [][]string) (committed int, fp string, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, row := range rows {
+		if ierr := d.miner.InsertCtx(ctx, row); ierr != nil {
+			err = ierr
+			break
+		}
+		hashRow(d.hasher, row)
+		d.version++
+		committed++
+	}
+	if committed > 0 {
+		d.fp = hex.EncodeToString(d.hasher.Sum(nil))
+	}
+	return committed, d.fp, err
+}
+
+// deriveCover re-derives the canonical cover from the maintained agree
+// sets (steps 2–4 only — no re-scan of the data; cost independent of the
+// row count). The lock holds appends off so the cover matches the
+// returned fingerprint.
+func (d *dataset) deriveCover(ctx context.Context) (fd.Cover, DatasetInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cover, err := d.miner.Cover(ctx)
+	info := DatasetInfo{
+		ID:          d.id,
+		Name:        d.name,
+		Fingerprint: d.fp,
+		Rows:        d.miner.Rows(),
+		Attributes:  d.miner.Arity(),
+		Names:       append([]string(nil), d.miner.Names()...),
+		Version:     d.version,
+		Created:     d.created,
+	}
+	return cover, info, err
+}
+
+// registry is the server's dataset store.
+type registry struct {
+	mu   sync.RWMutex
+	max  int
+	byID map[string]*dataset
+	ids  []string // registration order, for stable listings
+}
+
+func newRegistry(max int) *registry {
+	return &registry{max: max, byID: make(map[string]*dataset)}
+}
+
+// errRegistryFull distinguishes the capacity rejection for the handler's
+// status-code mapping.
+var errRegistryFull = fmt.Errorf("dataset registry full")
+
+// register adds a relation under a content-derived id. Registering
+// byte-identical content again returns the existing dataset (idempotent),
+// provided it has not been grown since; grown or colliding datasets get a
+// fresh suffixed id.
+func (r *registry) register(name string, rel *relation.Relation, m *incremental.Miner, now time.Time) (*dataset, bool, error) {
+	h := sha256.New()
+	for _, n := range rel.Names() {
+		hashField(h, n)
+	}
+	for t := 0; t < rel.Rows(); t++ {
+		hashRow(h, rel.Row(t))
+	}
+	fp := hex.EncodeToString(h.Sum(nil))
+	base := "ds-" + fp[:12]
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := base
+	for n := 2; ; n++ {
+		existing, ok := r.byID[id]
+		if !ok {
+			break
+		}
+		existing.mu.Lock()
+		same := existing.fp == fp
+		existing.mu.Unlock()
+		if same {
+			return existing, false, nil
+		}
+		id = fmt.Sprintf("%s-%d", base, n)
+	}
+	if r.max > 0 && len(r.byID) >= r.max {
+		return nil, false, fmt.Errorf("%w: %d datasets registered (cap %d)", errRegistryFull, len(r.byID), r.max)
+	}
+	d := &dataset{
+		id:      id,
+		name:    name,
+		created: now,
+		miner:   m,
+		hasher:  h,
+		fp:      fp,
+	}
+	r.byID[id] = d
+	r.ids = append(r.ids, id)
+	return d, true, nil
+}
+
+func (r *registry) get(id string) (*dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byID[id]
+	return d, ok
+}
+
+func (r *registry) list() []DatasetInfo {
+	r.mu.RLock()
+	ds := make([]*dataset, 0, len(r.ids))
+	for _, id := range r.ids {
+		ds = append(ds, r.byID[id])
+	}
+	r.mu.RUnlock()
+	out := make([]DatasetInfo, len(ds))
+	for i, d := range ds {
+		out[i] = d.info()
+	}
+	return out
+}
+
+func (r *registry) count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}

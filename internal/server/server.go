@@ -1,0 +1,445 @@
+// Package server is the serving layer of the repository: a long-running
+// HTTP (JSON) daemon — depminerd — that composes the discovery pipelines,
+// the worker pool, resource governance, the memory-bounded TANE search,
+// and the incremental maintenance engine into one process.
+//
+// It owns four pieces of state:
+//
+//   - a dataset registry: uploaded CSV relations, each wrapped in an
+//     incremental discovery session and identified by a running content
+//     fingerprint (registry.go);
+//   - an admission-controlled job queue: a hard cap on concurrently
+//     running discoveries, overflow rejected with 429 + Retry-After
+//     instead of queued unboundedly (jobs.go);
+//   - a result cache keyed by (dataset fingerprint, algorithm, options),
+//     so repeated discovery of unchanged data is O(1) (cache.go);
+//   - per-request guard budgets derived from request parameters clamped
+//     by server-wide caps, so a single heavy query cannot monopolise the
+//     process and overruns surface as partial results, not failures.
+//
+// Endpoints are versioned under /v1 (handlers.go); GET /healthz reports
+// liveness and drain state. Shutdown drains: in-flight discoveries finish
+// under their own budgets while new work is refused.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fastfds"
+	"repro/internal/fd"
+	"repro/internal/guard"
+	"repro/internal/pstore"
+	"repro/internal/tane"
+)
+
+// Config bounds the server. The zero value is usable: every field has a
+// production-safe default applied by New.
+type Config struct {
+	// MaxJobs caps concurrently running discoveries (sync and async
+	// alike); requests beyond it are rejected with 429. Default 4.
+	MaxJobs int
+	// SyncRowLimit is the dataset size (rows) up to which POST
+	// /v1/discover runs synchronously; larger datasets get an async job
+	// and a 202. Default 5000.
+	SyncRowLimit int
+	// MaxTimeout caps (and defaults) the per-request deadline. Default
+	// 2 minutes.
+	MaxTimeout time.Duration
+	// MaxBudgetUnits caps the per-request guard unit budget; 0 leaves
+	// requests ungoverned by units unless they ask for a budget.
+	MaxBudgetUnits int64
+	// MaxBodyBytes caps request bodies (CSV uploads). Default 32 MiB.
+	MaxBodyBytes int64
+	// MaxDatasets caps the registry. Default 64.
+	MaxDatasets int
+	// MaxJobRecords caps retained finished async job records. Default 256.
+	MaxJobRecords int
+	// CacheEntries caps the result cache. Default 128.
+	CacheEntries int
+	// Workers is the default worker-pool width for discoveries whose
+	// request omits it: 0 = all cores.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4
+	}
+	if c.SyncRowLimit <= 0 {
+		c.SyncRowLimit = 5000
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxDatasets <= 0 {
+		c.MaxDatasets = 64
+	}
+	if c.MaxJobRecords <= 0 {
+		c.MaxJobRecords = 256
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	return c
+}
+
+// Server is the depminerd HTTP handler plus its state. Create with New;
+// it is an http.Handler.
+type Server struct {
+	cfg   Config
+	reg   *registry
+	cache *resultCache
+	jobs  *jobQueue
+	mux   *http.ServeMux
+
+	// baseCtx parents async jobs, so a forced shutdown can cancel them.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup // in-flight discoveries (sync and async)
+
+	mu       sync.Mutex
+	draining bool
+	started  time.Time
+
+	stats discoveryStats
+
+	// testHookJobStart, when set, runs while a discovery holds its
+	// admission slot, before the pipeline starts — tests use it to pin
+	// jobs in the running state deterministically.
+	testHookJobStart func(datasetID string)
+}
+
+// New creates a server from the configuration (zero value fine).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        newRegistry(cfg.MaxDatasets),
+		cache:      newResultCache(cfg.CacheEntries),
+		jobs:       newJobQueue(cfg.MaxJobs, cfg.MaxJobRecords),
+		mux:        http.NewServeMux(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		started:    time.Now(),
+	}
+	s.stats.phases = make(map[string]time.Duration)
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/datasets", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
+	s.mux.HandleFunc("POST /v1/datasets/{id}/rows", s.handleAppendRows)
+	s.mux.HandleFunc("POST /v1/discover", s.handleDiscover)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: mutating endpoints start refusing with 503,
+// then in-flight discoveries are awaited. If ctx expires first, async
+// jobs are cancelled via their base context and Shutdown returns ctx's
+// error. It reuses the signal contract of internal/cli: the caller passes
+// a drain-deadline context created after the signal context fired.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // force: cancel in-flight async jobs
+		<-done
+		return fmt.Errorf("server: drain aborted: %w", ctx.Err())
+	}
+}
+
+// discoveryStats aggregates per-phase timings (from Result.Stats) and
+// partition-store counters across every discovery the process ran.
+type discoveryStats struct {
+	mu      sync.Mutex
+	total   int64
+	partial int64
+	failed  int64
+	sync    int64
+	async   int64
+	phases  map[string]time.Duration
+	pstore  pstore.Stats
+}
+
+func (d *discoveryStats) addPhases(st core.Stats) {
+	d.phases["partition"] += st.Partition.Duration
+	d.phases["agree_sets"] += st.AgreeSets.Duration
+	d.phases["max_sets"] += st.MaxSets.Duration
+	d.phases["lhs"] += st.LHS.Duration
+	d.phases["armstrong"] += st.Armstrong.Duration
+}
+
+func (d *discoveryStats) addPstore(st pstore.Stats) {
+	d.pstore.Hits += st.Hits
+	d.pstore.Misses += st.Misses
+	d.pstore.Evictions += st.Evictions
+	d.pstore.Recomputes += st.Recomputes
+	if st.PeakBytes > d.pstore.PeakBytes {
+		d.pstore.PeakBytes = st.PeakBytes
+	}
+}
+
+// discoverParams is a resolved, clamped discovery request.
+type discoverParams struct {
+	algorithm         string
+	workers           int
+	maxCouples        int
+	epsilon           float64
+	maxPartitionBytes int64
+	armstrong         bool
+	timeout           time.Duration
+	units             int64
+}
+
+// algorithms the server accepts.
+var algorithms = map[string]bool{
+	"depminer":    true,
+	"depminer2":   true,
+	"fastfds":     true,
+	"tane":        true,
+	"incremental": true,
+}
+
+// resolveParams validates the request and clamps it under the server
+// caps: the effective deadline is min(request, MaxTimeout) and the unit
+// budget min(request, MaxBudgetUnits), with the caps as defaults — every
+// discovery runs governed, so no request can exceed the server-wide
+// ceiling.
+func (s *Server) resolveParams(req *DiscoverRequest) (discoverParams, error) {
+	p := discoverParams{
+		algorithm:         strings.ToLower(strings.TrimSpace(req.Algorithm)),
+		workers:           req.Workers,
+		maxCouples:        req.MaxCouples,
+		epsilon:           req.Epsilon,
+		maxPartitionBytes: req.MaxPartitionBytes,
+		armstrong:         req.Armstrong,
+	}
+	if p.algorithm == "" {
+		p.algorithm = "depminer"
+	}
+	if !algorithms[p.algorithm] {
+		names := make([]string, 0, len(algorithms))
+		for a := range algorithms {
+			names = append(names, a)
+		}
+		sort.Strings(names)
+		return p, fmt.Errorf("unknown algorithm %q (have: %s)", req.Algorithm, strings.Join(names, ", "))
+	}
+	if p.workers < 0 || p.maxCouples < 0 || p.maxPartitionBytes < 0 || req.TimeoutMS < 0 || req.BudgetUnits < 0 {
+		return p, fmt.Errorf("negative knobs are invalid")
+	}
+	if p.epsilon < 0 || p.epsilon >= 1 {
+		return p, fmt.Errorf("epsilon %v out of [0,1)", p.epsilon)
+	}
+	if p.epsilon > 0 && p.algorithm != "tane" {
+		return p, fmt.Errorf("epsilon is a tane-only option")
+	}
+	if p.workers == 0 {
+		p.workers = s.cfg.Workers
+	}
+	p.timeout = s.cfg.MaxTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < p.timeout {
+			p.timeout = t
+		}
+	}
+	p.units = req.BudgetUnits
+	if s.cfg.MaxBudgetUnits > 0 && (p.units == 0 || p.units > s.cfg.MaxBudgetUnits) {
+		p.units = s.cfg.MaxBudgetUnits
+	}
+	return p, nil
+}
+
+// optionsKey canonically encodes the result-affecting options for the
+// cache key. Workers, budgets and partition caps are excluded: the miners
+// guarantee byte-identical covers for every value of those knobs, so one
+// completed result answers them all.
+func (p discoverParams) optionsKey() string {
+	return fmt.Sprintf("eps=%g|arm=%t", p.epsilon, p.armstrong)
+}
+
+// runDiscovery executes one admitted discovery. Governed overruns —
+// budget, deadline, contained panic — return the partial response
+// (Partial set, Error describing the cutoff) with a nil error, honouring
+// the partial-result contract over the wire; hard failures return a nil
+// response.
+func (s *Server) runDiscovery(ctx context.Context, d *dataset, p discoverParams) (*DiscoverResponse, error) {
+	start := time.Now()
+	budget := guard.WithTimeout(p.timeout, p.units)
+
+	if p.algorithm == "incremental" {
+		return s.runIncremental(ctx, d, p, start)
+	}
+
+	rel, fp, err := d.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	resp := &DiscoverResponse{
+		Dataset:     d.id,
+		Fingerprint: fp,
+		Algorithm:   p.algorithm,
+		Rows:        rel.Rows(),
+		Attributes:  rel.Arity(),
+	}
+	var (
+		cover   fd.Cover
+		partial bool
+		runErr  error
+	)
+	switch p.algorithm {
+	case "depminer", "depminer2":
+		opts := core.Options{
+			Workers:    p.workers,
+			MaxCouples: p.maxCouples,
+			Budget:     budget,
+			Armstrong:  core.ArmstrongNone,
+		}
+		if p.algorithm == "depminer2" {
+			opts.Algorithm = core.AgreeIdentifiers
+		}
+		if p.armstrong {
+			opts.Armstrong = core.ArmstrongRealWorldOrSynthetic
+		}
+		res, rerr := core.Discover(ctx, rel, opts)
+		runErr = rerr
+		if res != nil {
+			cover, partial = res.FDs, res.Partial
+			resp.Couples = res.Couples
+			resp.AgreeSets = len(res.AgreeSets)
+			resp.MaxSets = len(res.MaxSets)
+			resp.Notes = res.Notes
+			if res.Armstrong != nil {
+				arm := res.Armstrong
+				resp.ArmstrongSynthetic = res.ArmstrongSynthetic
+				resp.Armstrong = make([][]string, arm.Rows())
+				for t := 0; t < arm.Rows(); t++ {
+					resp.Armstrong[t] = arm.Row(t)
+				}
+			}
+			s.stats.mu.Lock()
+			s.stats.addPhases(res.Stats)
+			s.stats.mu.Unlock()
+		}
+	case "fastfds":
+		res, rerr := fastfds.RunOpts(ctx, rel, fastfds.Options{Budget: budget})
+		runErr = rerr
+		if res != nil {
+			cover, partial = res.FDs, res.Partial
+			resp.DFSNodes = res.Nodes
+		}
+	case "tane":
+		res, rerr := tane.Run(ctx, rel, tane.Options{
+			Epsilon:           p.epsilon,
+			Workers:           p.workers,
+			MaxPartitionBytes: p.maxPartitionBytes,
+			Budget:            budget,
+		})
+		runErr = rerr
+		if res != nil {
+			cover, partial = res.FDs, res.Partial
+			resp.LatticeNodes = res.LatticeNodes
+			s.stats.mu.Lock()
+			s.stats.addPstore(res.Stats)
+			s.stats.mu.Unlock()
+		}
+	}
+	if runErr != nil && !partial {
+		return nil, runErr
+	}
+	resp.FDs = renderCover(cover, rel.Names())
+	resp.Partial = partial
+	if runErr != nil {
+		resp.Error = runErr.Error()
+	}
+	resp.BudgetUsed = budget.Used()
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+// runIncremental serves the "incremental" algorithm: the cover is
+// re-derived from the session's maintained agree sets (steps 2–4 only),
+// at a cost independent of the dataset's row count.
+func (s *Server) runIncremental(ctx context.Context, d *dataset, p discoverParams, start time.Time) (*DiscoverResponse, error) {
+	dctx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	cover, info, err := d.deriveCover(dctx)
+	if err != nil {
+		return nil, err
+	}
+	resp := &DiscoverResponse{
+		Dataset:     info.ID,
+		Fingerprint: info.Fingerprint,
+		Algorithm:   p.algorithm,
+		Rows:        info.Rows,
+		Attributes:  info.Attributes,
+		FDs:         renderCover(cover, info.Names),
+		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	return resp, nil
+}
+
+// renderCover formats FDs with attribute names, one string per
+// dependency, in the canonical order.
+func renderCover(cover fd.Cover, names []string) []string {
+	out := make([]string, len(cover))
+	for i, f := range cover {
+		out[i] = f.Names(names)
+	}
+	return out
+}
+
+// classifyStatus maps a discovery failure to an HTTP status.
+func classifyStatus(err error) int {
+	switch {
+	case errors.Is(err, guard.ErrInvalidOptions):
+		return http.StatusBadRequest
+	case guard.Governed(err), errors.Is(err, context.DeadlineExceeded):
+		// Governed but without a partial result to return.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}

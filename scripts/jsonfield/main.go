@@ -1,0 +1,45 @@
+// Command jsonfield prints one top-level field of a JSON object read
+// from stdin — a dependency-free stand-in for `jq -r .field`, used by
+// the CI smoke step to pull the dataset id out of a depminerd response.
+//
+// Usage:
+//
+//	curl -sS .../v1/datasets | go run ./scripts/jsonfield id
+//
+// Exits 1 if stdin is not a JSON object or the field is absent. Scalar
+// values print bare (no quotes); composite values print as JSON.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsonfield <field> < object.json")
+		os.Exit(1)
+	}
+	var obj map[string]json.RawMessage
+	if err := json.NewDecoder(os.Stdin).Decode(&obj); err != nil {
+		fmt.Fprintf(os.Stderr, "jsonfield: %v\n", err)
+		os.Exit(1)
+	}
+	raw, ok := obj[os.Args[1]]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "jsonfield: no field %q\n", os.Args[1])
+		os.Exit(1)
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		fmt.Println(s)
+		return
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		fmt.Fprintf(os.Stderr, "jsonfield: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(v)
+}
