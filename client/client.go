@@ -1,0 +1,373 @@
+// Package client is the public Go SDK for depminerd, the FD-discovery
+// server in this repository. It speaks the repro/wire JSON types — the
+// same structs the server encodes — and layers the transport policy a
+// well-behaved caller needs:
+//
+//   - retries with exponential backoff + jitter that honour the
+//     server's Retry-After hint (admission rejections are transient by
+//     design: a 429 means "try again shortly", and the client does);
+//   - async-job polling with context cancellation, so Discover presents
+//     one blocking call regardless of whether the server chose the sync
+//     or the 202-and-poll path;
+//   - typed errors for the outcomes callers must branch on: 429
+//     (ErrTooManyRequests), 507 (ErrRegistryFull), governed partial
+//     results (ErrPartial, response still returned), failed jobs.
+//
+// Appends are the one non-idempotent operation and are never retried;
+// registration is idempotent by content fingerprint and discovery is a
+// pure computation behind a cache, so both retry safely.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/wire"
+)
+
+// maxResponseBytes caps how much of a response body the client reads —
+// a defensive bound well above any real depminerd payload.
+const maxResponseBytes = 64 << 20
+
+// Client is a depminerd API client. Create with New; it is safe for
+// concurrent use by multiple goroutines.
+type Client struct {
+	baseURL  string
+	httpc    *http.Client
+	retry    RetryPolicy
+	poll     time.Duration
+	observer func(Attempt)
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport tuning, test doubles). Default: a dedicated client with no
+// overall timeout — per-call bounds come from the caller's context.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithRetryPolicy replaces the retry policy. The zero RetryPolicy means
+// the defaults; RetryPolicy{MaxAttempts: 1} disables retries.
+func WithRetryPolicy(p RetryPolicy) Option { return func(c *Client) { c.retry = p.withDefaults() } }
+
+// WithPollInterval sets the async-job poll interval (default 100ms).
+func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll = d } }
+
+// Attempt describes one HTTP try, reported to the observer installed
+// with WithAttemptObserver — the hook load generators use to count
+// rejections and retry waits without patching the client.
+type Attempt struct {
+	Method string
+	Path   string
+	// Try is 1-based: the first attempt is 1.
+	Try int
+	// Status is the HTTP status, 0 on transport error.
+	Status int
+	// Err is the attempt's failure (nil on success): *APIError for
+	// non-2xx statuses, the transport error otherwise.
+	Err error
+	// Backoff is the sleep chosen before the next try; 0 when this
+	// attempt is final (success or retries exhausted).
+	Backoff time.Duration
+}
+
+// WithAttemptObserver installs fn, called once per HTTP attempt
+// (including the final one). fn must be safe for concurrent use.
+func WithAttemptObserver(fn func(Attempt)) Option { return func(c *Client) { c.observer = fn } }
+
+// New creates a client for the depminerd instance at baseURL
+// (e.g. "http://127.0.0.1:8080"; a trailing slash is tolerated).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL: strings.TrimRight(baseURL, "/"),
+		httpc:   &http.Client{},
+		retry:   RetryPolicy{}.withDefaults(),
+		poll:    100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) observe(a Attempt) {
+	if c.observer != nil {
+		c.observer(a)
+	}
+}
+
+// do runs one request with the retry loop. It returns the final status
+// and raw body; err is nil only for 2xx answers. The body (when one was
+// read) is returned even alongside an error, so callers like Append can
+// surface partial-commit details from non-2xx responses.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, retryable bool) (int, []byte, error) {
+	p := c.retry
+	for try := 1; ; try++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+		if err != nil {
+			return 0, nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		var (
+			status     int
+			raw        []byte
+			attemptErr error
+			retryAfter time.Duration
+		)
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			attemptErr = err
+		} else {
+			status = resp.StatusCode
+			raw, err = io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+			resp.Body.Close()
+			if err != nil {
+				attemptErr = fmt.Errorf("reading response body: %w", err)
+			} else if status >= 400 {
+				apiErr := &APIError{StatusCode: status}
+				var eb wire.ErrorResponse
+				if json.Unmarshal(raw, &eb) == nil {
+					apiErr.Message = eb.Error
+				}
+				if ra, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+					apiErr.RetryAfter = ra
+					retryAfter = ra
+				}
+				attemptErr = apiErr
+			}
+		}
+		if attemptErr == nil {
+			c.observe(Attempt{Method: method, Path: path, Try: try, Status: status})
+			return status, raw, nil
+		}
+		canRetry := retryable && try < p.MaxAttempts && ctx.Err() == nil
+		if canRetry {
+			if apiErr, ok := attemptErr.(*APIError); ok {
+				canRetry = retryableStatus(apiErr.StatusCode)
+			}
+		}
+		if !canRetry {
+			c.observe(Attempt{Method: method, Path: path, Try: try, Status: status, Err: attemptErr})
+			return status, raw, attemptErr
+		}
+		wait := p.backoff(try, retryAfter)
+		c.observe(Attempt{Method: method, Path: path, Try: try, Status: status, Err: attemptErr, Backoff: wait})
+		if serr := sleep(ctx, wait); serr != nil {
+			return status, raw, fmt.Errorf("%w (while backing off from: %v)", serr, attemptErr)
+		}
+	}
+}
+
+// get runs a retryable GET and decodes the 2xx body into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	_, raw, err := c.do(ctx, http.MethodGet, path, "", nil, true)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Register uploads a CSV relation (first record = attribute names) and
+// returns the registered dataset. Registration is idempotent by content
+// fingerprint — re-registering identical bytes returns the existing
+// dataset with Existing=true — which is what makes it safe to retry.
+// name optionally labels the dataset.
+func (c *Client) Register(ctx context.Context, name string, csvData []byte) (*wire.RegisterResponse, error) {
+	path := "/v1/datasets"
+	if name != "" {
+		path += "?name=" + url.QueryEscape(name)
+	}
+	_, raw, err := c.do(ctx, http.MethodPost, path, "text/csv", csvData, true)
+	if err != nil {
+		return nil, err
+	}
+	var reg wire.RegisterResponse
+	if err := json.Unmarshal(raw, &reg); err != nil {
+		return nil, fmt.Errorf("decoding register response: %w", err)
+	}
+	return &reg, nil
+}
+
+// Append adds rows to a registered dataset's incremental session.
+// Appends are not idempotent, so they are never retried; on a non-2xx
+// answer the returned response (when the server sent one) still reports
+// how many rows committed before the failure.
+func (c *Client) Append(ctx context.Context, datasetID string, rows [][]string) (*wire.AppendResponse, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.WriteAll(rows); err != nil {
+		return nil, fmt.Errorf("encoding rows: %w", err)
+	}
+	_, raw, err := c.do(ctx, http.MethodPost, "/v1/datasets/"+url.PathEscape(datasetID)+"/rows", "text/csv", buf.Bytes(), false)
+	var resp wire.AppendResponse
+	if len(raw) > 0 && json.Unmarshal(raw, &resp) == nil && resp.ID != "" {
+		return &resp, err
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Dataset fetches one dataset's description.
+func (c *Client) Dataset(ctx context.Context, id string) (*wire.DatasetInfo, error) {
+	var info wire.DatasetInfo
+	if err := c.get(ctx, "/v1/datasets/"+url.PathEscape(id), &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Datasets lists all registered datasets.
+func (c *Client) Datasets(ctx context.Context) ([]wire.DatasetInfo, error) {
+	var infos []wire.DatasetInfo
+	if err := c.get(ctx, "/v1/datasets", &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Discover runs one FD discovery to completion, whichever execution
+// path the server picks: a sync 200 returns directly, a 202 is followed
+// by polling the job until it finishes (cancelled via ctx). A governed
+// overrun returns the partial response together with a *PartialError —
+// the response is usable (every FD in it holds); the error tells the
+// caller the cover is incomplete.
+func (c *Client) Discover(ctx context.Context, req wire.DiscoverRequest) (*wire.DiscoverResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	status, raw, err := c.do(ctx, http.MethodPost, "/v1/discover", "application/json", body, true)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusOK:
+		var resp wire.DiscoverResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return nil, fmt.Errorf("decoding discover response: %w", err)
+		}
+		return finishDiscover(&resp)
+	case http.StatusAccepted:
+		var j wire.JobInfo
+		if err := json.Unmarshal(raw, &j); err != nil {
+			return nil, fmt.Errorf("decoding job info: %w", err)
+		}
+		return c.WaitJob(ctx, j.ID)
+	default:
+		return nil, fmt.Errorf("depminerd: unexpected discover status %d", status)
+	}
+}
+
+// DiscoverAsync submits a discovery forced onto the async path and
+// returns the job record to poll (Job / WaitJob). One wrinkle of the
+// server's cache: a hit answers 200 inline even when async is forced —
+// the client then synthesizes an already-done job record (empty ID)
+// carrying the cached result, so callers see a uniform job lifecycle.
+func (c *Client) DiscoverAsync(ctx context.Context, req wire.DiscoverRequest) (*wire.JobInfo, error) {
+	async := true
+	req.Async = &async
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	status, raw, err := c.do(ctx, http.MethodPost, "/v1/discover", "application/json", body, true)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusAccepted:
+		var j wire.JobInfo
+		if err := json.Unmarshal(raw, &j); err != nil {
+			return nil, fmt.Errorf("decoding job info: %w", err)
+		}
+		return &j, nil
+	case http.StatusOK:
+		var resp wire.DiscoverResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return nil, fmt.Errorf("decoding discover response: %w", err)
+		}
+		return &wire.JobInfo{
+			Dataset:   resp.Dataset,
+			Algorithm: resp.Algorithm,
+			State:     wire.JobDone,
+			Result:    &resp,
+		}, nil
+	default:
+		return nil, fmt.Errorf("depminerd: async discover answered %d, want 202", status)
+	}
+}
+
+// Job fetches one async job's current record.
+func (c *Client) Job(ctx context.Context, id string) (*wire.JobInfo, error) {
+	var j wire.JobInfo
+	if err := c.get(ctx, "/v1/jobs/"+url.PathEscape(id), &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// WaitJob polls a job until it leaves the running state or ctx is
+// cancelled, returning the discovery outcome under the same partial
+// contract as Discover. Failed jobs return a *JobError.
+func (c *Client) WaitJob(ctx context.Context, id string) (*wire.DiscoverResponse, error) {
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch j.State {
+		case wire.JobDone:
+			if j.Result == nil {
+				return nil, fmt.Errorf("depminerd: job %s done without a result", id)
+			}
+			return finishDiscover(j.Result)
+		case wire.JobFailed:
+			return nil, &JobError{Job: j}
+		}
+		if err := sleep(ctx, c.poll); err != nil {
+			return nil, fmt.Errorf("polling job %s: %w", id, err)
+		}
+	}
+}
+
+// finishDiscover applies the partial-result contract to a completed
+// discovery response.
+func finishDiscover(resp *wire.DiscoverResponse) (*wire.DiscoverResponse, error) {
+	if resp.Partial {
+		return resp, &PartialError{Response: resp}
+	}
+	return resp, nil
+}
+
+// Stats fetches the server's /v1/stats counters.
+func (c *Client) Stats(ctx context.Context) (*wire.StatsResponse, error) {
+	var st wire.StatsResponse
+	if err := c.get(ctx, "/v1/stats", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Health probes /healthz: nil while serving, ErrUnavailable (via the
+// typed *APIError) once the server drains.
+func (c *Client) Health(ctx context.Context) error {
+	_, _, err := c.do(ctx, http.MethodGet, "/healthz", "", nil, false)
+	return err
+}

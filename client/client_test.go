@@ -1,0 +1,239 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/wire"
+)
+
+// stubServer boots an httptest server around h and returns a client
+// pointed at it with fast, deterministic retries unless overridden.
+func stubServer(t *testing.T, h http.HandlerFunc, opts ...Option) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	base := []Option{WithRetryPolicy(RetryPolicy{MaxAttempts: 1})}
+	return New(ts.URL, append(base, opts...)...), ts
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// TestTypedErrors maps each depminerd failure status onto its sentinel.
+func TestTypedErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		code     int
+		header   http.Header
+		sentinel error
+	}{
+		{"429 → ErrTooManyRequests", http.StatusTooManyRequests,
+			http.Header{"Retry-After": {"2"}}, ErrTooManyRequests},
+		{"507 → ErrRegistryFull", http.StatusInsufficientStorage, nil, ErrRegistryFull},
+		{"404 → ErrNotFound", http.StatusNotFound, nil, ErrNotFound},
+		{"503 → ErrUnavailable", http.StatusServiceUnavailable, nil, ErrUnavailable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+				for k, vs := range tc.header {
+					w.Header()[k] = vs
+				}
+				writeJSON(w, tc.code, wire.ErrorResponse{Error: "nope"})
+			})
+			_, err := c.Discover(context.Background(), wire.DiscoverRequest{Dataset: "ds-x"})
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("err = %v, want errors.Is %v", err, tc.sentinel)
+			}
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) || apiErr.StatusCode != tc.code || apiErr.Message != "nope" {
+				t.Fatalf("APIError = %+v", apiErr)
+			}
+			if tc.code == http.StatusTooManyRequests && apiErr.RetryAfter != 2*time.Second {
+				t.Fatalf("RetryAfter = %v, want 2s", apiErr.RetryAfter)
+			}
+		})
+	}
+}
+
+// TestRetryHonorsRetryAfter rejects the first attempt with a 1-second
+// Retry-After: the client must recover on a later attempt and must not
+// have retried before the hint elapsed.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt time.Time
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt = time.Now()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, wire.ErrorResponse{Error: "full"})
+		default:
+			secondAt = time.Now()
+			writeJSON(w, http.StatusOK, wire.DiscoverResponse{Dataset: "ds-x", FDs: []string{"a → b"}})
+		}
+	}, WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: -1}))
+
+	resp, err := c.Discover(context.Background(), wire.DiscoverRequest{Dataset: "ds-x"})
+	if err != nil {
+		t.Fatalf("discover after 429: %v", err)
+	}
+	if len(resp.FDs) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2", calls.Load())
+	}
+	if waited := secondAt.Sub(firstAt); waited < time.Second {
+		t.Fatalf("retried after %v, before the 1s Retry-After elapsed", waited)
+	}
+}
+
+// TestRetriesExhaust: a permanently saturated server exhausts
+// MaxAttempts, every attempt is observed, and the final error is the
+// typed 429.
+func TestRetriesExhaust(t *testing.T) {
+	var calls atomic.Int64
+	var observed atomic.Int64
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		writeJSON(w, http.StatusTooManyRequests, wire.ErrorResponse{Error: "full"})
+	},
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: -1}),
+		WithAttemptObserver(func(a Attempt) { observed.Add(1) }),
+	)
+	_, err := c.Discover(context.Background(), wire.DiscoverRequest{Dataset: "ds-x"})
+	if !errors.Is(err, ErrTooManyRequests) {
+		t.Fatalf("err = %v, want ErrTooManyRequests", err)
+	}
+	if calls.Load() != 3 || observed.Load() != 3 {
+		t.Fatalf("calls = %d observed = %d, want 3 each", calls.Load(), observed.Load())
+	}
+}
+
+// TestNonRetryableStatusFailsFast: a 400 must not burn retry attempts.
+func TestNonRetryableStatusFailsFast(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: "bad knob"})
+	}, WithRetryPolicy(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	_, err := c.Discover(context.Background(), wire.DiscoverRequest{Dataset: "ds-x"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 retried: %d attempts", calls.Load())
+	}
+}
+
+// TestPartialContract: a 200 with partial=true returns the usable
+// response together with the typed *PartialError.
+func TestPartialContract(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, wire.DiscoverResponse{
+			Dataset: "ds-x", FDs: []string{"a → b"}, Partial: true, Error: "budget exhausted",
+		})
+	})
+	resp, err := c.Discover(context.Background(), wire.DiscoverRequest{Dataset: "ds-x"})
+	if !errors.Is(err, ErrPartial) {
+		t.Fatalf("err = %v, want ErrPartial", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) || pe.Response != resp {
+		t.Fatalf("PartialError = %+v, resp = %+v", pe, resp)
+	}
+	if resp == nil || !resp.Partial || len(resp.FDs) != 1 {
+		t.Fatalf("partial response not returned: %+v", resp)
+	}
+}
+
+// TestWaitJobContextCancel: polling a never-finishing job must unwind
+// promptly when the context is cancelled.
+func TestWaitJobContextCancel(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, wire.JobInfo{ID: "job-1", State: wire.JobRunning})
+	}, WithPollInterval(5*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.WaitJob(ctx, "job-1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("WaitJob took %v to honour cancellation", elapsed)
+	}
+}
+
+// TestJobFailedTyped: a failed job surfaces as *JobError / ErrJobFailed.
+func TestJobFailedTyped(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, wire.JobInfo{ID: "job-9", State: wire.JobFailed, Error: "boom"})
+	})
+	_, err := c.WaitJob(context.Background(), "job-9")
+	if !errors.Is(err, ErrJobFailed) {
+		t.Fatalf("err = %v, want ErrJobFailed", err)
+	}
+	var je *JobError
+	if !errors.As(err, &je) || je.Job.Error != "boom" {
+		t.Fatalf("JobError = %+v", je)
+	}
+}
+
+// TestAppendNotRetried: appends are not idempotent, so even a
+// retryable-looking 503 must not be resubmitted.
+func TestAppendNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "draining"})
+	}, WithRetryPolicy(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	_, err := c.Append(context.Background(), "ds-x", [][]string{{"1", "2"}})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("append retried: %d attempts", calls.Load())
+	}
+}
+
+// TestAppendSurfacesPartialCommit: a mid-append deadline answers non-2xx
+// but with an AppendResponse body; the client must return both the
+// typed error and the committed count.
+func TestAppendSurfacesPartialCommit(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, wire.AppendResponse{
+			ID: "ds-x", Appended: 2, Rows: 9, Fingerprint: "f2", Error: "deadline",
+		})
+	})
+	resp, err := c.Append(context.Background(), "ds-x", [][]string{{"1"}, {"2"}, {"3"}})
+	if err == nil {
+		t.Fatal("partial commit reported no error")
+	}
+	if resp == nil || resp.Appended != 2 || resp.Fingerprint != "f2" {
+		t.Fatalf("partial-commit response = %+v", resp)
+	}
+}
+
+// TestHealthDraining: Health maps a draining server onto ErrUnavailable.
+func TestHealthDraining(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	})
+	if err := c.Health(context.Background()); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}

@@ -1,0 +1,99 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/wire"
+)
+
+// Sentinel errors for errors.Is checks against the typed *APIError and
+// *PartialError values the client returns. They classify the depminerd
+// failure modes a caller is expected to branch on.
+var (
+	// ErrTooManyRequests: the admission controller rejected the request
+	// (HTTP 429). The *APIError carries the server's Retry-After hint.
+	ErrTooManyRequests = errors.New("depminerd: too many requests")
+	// ErrRegistryFull: the dataset registry is at capacity (HTTP 507).
+	ErrRegistryFull = errors.New("depminerd: dataset registry full")
+	// ErrNotFound: unknown dataset or job id (HTTP 404).
+	ErrNotFound = errors.New("depminerd: not found")
+	// ErrUnavailable: the server is draining or refused governed work
+	// without a partial to return (HTTP 503).
+	ErrUnavailable = errors.New("depminerd: unavailable")
+	// ErrPartial: the discovery overran its guard budget and returned a
+	// sound subset cover. The *PartialError carries the response.
+	ErrPartial = errors.New("depminerd: partial result")
+	// ErrJobFailed: an async job finished in the failed state.
+	ErrJobFailed = errors.New("depminerd: job failed")
+)
+
+// APIError is a non-2xx answer from depminerd: the HTTP status, the
+// server's error message, and — on 429 — the parsed Retry-After hint.
+// It matches the sentinels above via errors.Is.
+type APIError struct {
+	// StatusCode is the HTTP status of the response.
+	StatusCode int
+	// Message is the server's error body ("error" field), if any.
+	Message string
+	// RetryAfter is the parsed Retry-After header (delta-seconds or
+	// HTTP-date form), 0 when absent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	msg := e.Message
+	if msg == "" {
+		msg = http.StatusText(e.StatusCode)
+	}
+	return fmt.Sprintf("depminerd: %s (http %d)", msg, e.StatusCode)
+}
+
+// Is maps the status code onto the sentinel classification, so callers
+// can write errors.Is(err, client.ErrTooManyRequests) without digging
+// the *APIError out first.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrTooManyRequests:
+		return e.StatusCode == http.StatusTooManyRequests
+	case ErrRegistryFull:
+		return e.StatusCode == http.StatusInsufficientStorage
+	case ErrNotFound:
+		return e.StatusCode == http.StatusNotFound
+	case ErrUnavailable:
+		return e.StatusCode == http.StatusServiceUnavailable
+	}
+	return false
+}
+
+// PartialError reports a governed overrun: the server answered 200 with
+// partial=true, so Response carries a sound subset of the cover (every
+// FD in it holds) along with the server's description of the cutoff.
+// It is returned alongside the response, mirroring the repository's
+// partial-result contract (guard.Governed).
+type PartialError struct {
+	// Response is the partial discovery outcome; never nil.
+	Response *wire.DiscoverResponse
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("depminerd: partial result: %s", e.Response.Error)
+}
+
+// Is matches ErrPartial.
+func (e *PartialError) Is(target error) bool { return target == ErrPartial }
+
+// JobError reports an async job that finished in the failed state.
+type JobError struct {
+	// Job is the final job record; never nil.
+	Job *wire.JobInfo
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("depminerd: job %s failed: %s", e.Job.ID, e.Job.Error)
+}
+
+// Is matches ErrJobFailed.
+func (e *JobError) Is(target error) bool { return target == ErrJobFailed }

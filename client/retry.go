@@ -1,0 +1,141 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds the client's retry loop: exponential backoff with
+// jitter, never sleeping less than the server's Retry-After hint. The
+// zero value means "use the defaults" (6 attempts, 50ms base, 2s cap,
+// ±25% jitter); MaxAttempts=1 disables retries entirely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request, including
+	// the first. 0 means the default (6); 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. Default 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Default 2s.
+	MaxDelay time.Duration
+	// Jitter is the symmetric randomisation fraction applied to the
+	// backoff delay: the sleep is delay·(1 ± Jitter·u), u uniform in
+	// [0,1). 0 means the default (0.25); negative disables jitter.
+	Jitter float64
+
+	// rng overrides the jitter source; tests use it for determinism.
+	rng func() float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 6
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.25
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.rng == nil {
+		p.rng = defaultRand
+	}
+	return p
+}
+
+var (
+	randMu  sync.Mutex
+	randSrc = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func defaultRand() float64 {
+	randMu.Lock()
+	defer randMu.Unlock()
+	return randSrc.Float64()
+}
+
+// backoff computes the sleep before retry number `attempt` (1-based: the
+// delay after the attempt'th try failed). The exponential, jittered
+// delay is floored by the server's Retry-After hint — honouring the
+// hint means never retrying before it elapses.
+func (p RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 { // <=0 guards shift overflow
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		f := 1 + p.Jitter*(2*p.rng()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// retryableStatus reports whether a status is worth retrying: admission
+// rejection (429), drain/overload (503), and transient gateway errors.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests,
+		http.StatusServiceUnavailable,
+		http.StatusBadGateway,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// parseRetryAfter parses an RFC 9110 Retry-After value: either a
+// non-negative integer of delta-seconds or an HTTP-date (any of the
+// three date formats http.ParseTime accepts). Dates in the past yield a
+// zero duration with ok=true; malformed values (fractions, negatives,
+// garbage) yield ok=false.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
+		return 0, false
+	}
+	d := t.Sub(now)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// sleep waits for d or until ctx is cancelled, returning ctx's error in
+// the latter case.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,107 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter is the satellite's table-driven parser check: the
+// client must tolerate both RFC 9110 forms — delta-seconds and
+// HTTP-date (all three date formats servers are allowed to emit) — and
+// reject malformed values instead of mis-sleeping on them.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"delta one", "1", time.Second, true},
+		{"delta zero", "0", 0, true},
+		{"delta large", "120", 120 * time.Second, true},
+		{"delta padded", "  5 ", 5 * time.Second, true},
+		{"delta negative", "-1", 0, false},
+		{"delta fraction", "1.5", 0, false},
+		{"delta overflow-ish", "999999999", 999999999 * time.Second, true},
+		{"empty", "", 0, false},
+		{"garbage", "soon", 0, false},
+		{"http-date rfc1123 future", "Sat, 08 Aug 2026 12:00:30 GMT", 30 * time.Second, true},
+		{"http-date rfc1123 past", "Sat, 08 Aug 2026 11:59:00 GMT", 0, true},
+		{"http-date rfc850", "Saturday, 08-Aug-26 12:01:00 GMT", time.Minute, true},
+		{"http-date asctime", "Sat Aug  8 12:02:00 2026", 2 * time.Minute, true},
+		{"http-date malformed", "Sat, 99 Aug 2026 12:00:00 GMT", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseRetryAfter(tc.in, now)
+			if ok != tc.ok {
+				t.Fatalf("parseRetryAfter(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+			}
+			if ok && got != tc.want {
+				t.Fatalf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBackoffSchedule pins the deterministic (jitter-free) exponential
+// schedule and the Retry-After floor.
+func TestBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Jitter: -1}.withDefaults()
+	wants := []time.Duration{10, 20, 40, 80, 80, 80} // ms; capped at MaxDelay
+	for i, w := range wants {
+		if got := p.backoff(i+1, 0); got != w*time.Millisecond {
+			t.Errorf("backoff(attempt %d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	// The server's Retry-After hint floors the delay: honouring it means
+	// never retrying earlier.
+	if got := p.backoff(1, time.Second); got != time.Second {
+		t.Errorf("backoff with 1s Retry-After = %v, want 1s", got)
+	}
+	// ... but a larger computed backoff is kept.
+	if got := p.backoff(4, 50*time.Millisecond); got != 80*time.Millisecond {
+		t.Errorf("backoff(4) with small Retry-After = %v, want 80ms", got)
+	}
+}
+
+// TestBackoffJitterBounds checks the symmetric jitter never leaves the
+// documented ±Jitter band and never undercuts Retry-After.
+func TestBackoffJitterBounds(t *testing.T) {
+	for _, u := range []float64{0, 0.25, 0.5, 0.999} {
+		p := RetryPolicy{BaseDelay: 100 * time.Millisecond, Jitter: 0.25}.withDefaults()
+		p.rng = func() float64 { return u }
+		d := p.backoff(1, 0)
+		lo := time.Duration(float64(100*time.Millisecond) * 0.75)
+		hi := time.Duration(float64(100*time.Millisecond) * 1.25)
+		if d < lo || d > hi {
+			t.Errorf("jittered backoff (u=%v) = %v, outside [%v, %v]", u, d, lo, hi)
+		}
+		if got := p.backoff(1, time.Second); got < time.Second {
+			t.Errorf("jittered backoff (u=%v) undercut Retry-After: %v", u, got)
+		}
+	}
+}
+
+// TestBackoffLargeAttemptNoOverflow guards the shift against attempt
+// counts big enough to overflow a Duration.
+func TestBackoffLargeAttemptNoOverflow(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Second, MaxDelay: 4 * time.Second, Jitter: -1}.withDefaults()
+	for _, attempt := range []int{40, 63, 64, 100} {
+		if got := p.backoff(attempt, 0); got != 4*time.Second {
+			t.Errorf("backoff(%d) = %v, want MaxDelay", attempt, got)
+		}
+	}
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p.MaxAttempts != 6 || p.BaseDelay != 50*time.Millisecond || p.MaxDelay != 2*time.Second || p.Jitter != 0.25 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	one := RetryPolicy{MaxAttempts: 1}.withDefaults()
+	if one.MaxAttempts != 1 {
+		t.Fatalf("MaxAttempts=1 must disable retries, got %d", one.MaxAttempts)
+	}
+}

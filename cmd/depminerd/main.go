@@ -50,6 +50,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight discoveries")
 	flag.IntVar(&cfg.server.MaxJobs, "max-jobs", 4, "cap on concurrently running discoveries; excess requests get 429 + Retry-After")
+	flag.DurationVar(&cfg.server.RetryAfter, "retry-after", time.Second, "delay hinted in 429 Retry-After headers (rendered as RFC 9110 delta-seconds, min 1)")
 	flag.IntVar(&cfg.server.SyncRowLimit, "sync-rows", 5000, "datasets up to this many rows run /v1/discover synchronously; larger ones become async jobs")
 	flag.DurationVar(&cfg.server.MaxTimeout, "max-timeout", 2*time.Minute, "cap (and default) for per-request discovery deadlines")
 	flag.Int64Var(&cfg.server.MaxBudgetUnits, "max-budget", 0, "cap (and default) for per-request guard unit budgets; 0 = ungoverned by units")

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestRunSmoke drives the full closed loop for a second against an
+// in-process depminerd at a small admission cap and asserts the contract
+// CI relies on: requests flowed, none ended outside the
+// ok/partial/rejected classes, and the report round-trips through JSON
+// with scalar top-level requests/errors fields (what scripts/jsonfield
+// reads one level deep).
+func TestRunSmoke(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{MaxJobs: 2, RetryAfter: time.Second}))
+	defer ts.Close()
+
+	rep, err := run(context.Background(), config{
+		addr:        ts.URL,
+		concurrency: 4,
+		duration:    time.Second,
+		mix:         "hit=4,cold=2,append=1,inc=1,async=1",
+		rows:        50,
+		attrs:       5,
+		seed:        1,
+		maxAttempts: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d unexpected errors: %+v", rep.Errors, rep.Ops)
+	}
+	if rep.Latency == nil || rep.Latency.Count == 0 {
+		t.Fatal("no latency samples recorded")
+	}
+	if rep.Latency.P50 > rep.Latency.P99 || rep.Latency.P99 > rep.Latency.Max {
+		t.Fatalf("percentiles not monotone: %+v", rep.Latency)
+	}
+	var sum int64
+	for op, st := range rep.Ops {
+		if st.Requests != st.OK+st.Partials+st.Rejected+st.Errors {
+			t.Fatalf("op %s outcomes don't add up: %+v", op, st)
+		}
+		sum += st.Requests
+	}
+	if sum != rep.Requests {
+		t.Fatalf("per-op requests %d != total %d", sum, rep.Requests)
+	}
+	if rep.ServerStats == nil {
+		t.Fatal("report missing server stats")
+	}
+
+	// The jsonfield contract: requests and errors are scalar top-level
+	// fields of the emitted object.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"requests", "errors", "throughput_rps", "latency_ms"} {
+		if _, ok := top[field]; !ok {
+			t.Fatalf("report has no top-level %q field", field)
+		}
+	}
+	var n int64
+	if err := json.Unmarshal(top["requests"], &n); err != nil || n != rep.Requests {
+		t.Fatalf("top-level requests = %s (err %v), want %d", top["requests"], err, rep.Requests)
+	}
+}
+
+// TestParseMix pins the -mix grammar.
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("hit=4, cold=2 ,append=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 || mix[0].op != "hit" || mix[0].weight != 4 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	if _, err := parseMix("warp=1"); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := parseMix("hit=-1"); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := parseMix("hit=0"); err == nil {
+		t.Fatal("empty effective mix accepted")
+	}
+	if mix, err := parseMix("async"); err != nil || len(mix) != 1 || mix[0].weight != 1 {
+		t.Fatalf("bare op: mix = %+v, err = %v", mix, err)
+	}
+}
+
+// TestSummarize pins the nearest-rank percentile definition.
+func TestSummarize(t *testing.T) {
+	s := summarize([]float64{5, 1, 4, 2, 3})
+	if s.Count != 5 || s.P50 != 3 || s.Max != 5 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P99 != 5 {
+		t.Fatalf("p99 of 5 samples = %v, want the max", s.P99)
+	}
+	if z := summarize(nil); z.Count != 0 || z.P50 != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}

@@ -116,15 +116,6 @@ func (c *resultCache) removeLocked(el *list.Element) {
 	}
 }
 
-// CacheStats is the cache section of /v1/stats.
-type CacheStats struct {
-	Entries       int   `json:"entries"`
-	Hits          int64 `json:"hits"`
-	Misses        int64 `json:"misses"`
-	Evictions     int64 `json:"evictions"`
-	Invalidations int64 `json:"invalidations"`
-}
-
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()

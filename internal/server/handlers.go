@@ -13,136 +13,26 @@ import (
 	"repro/internal/guard"
 	"repro/internal/incremental"
 	"repro/internal/relation"
+	"repro/wire"
 )
 
-// DatasetInfo is the wire description of a registered dataset.
-type DatasetInfo struct {
-	ID          string    `json:"id"`
-	Name        string    `json:"name,omitempty"`
-	Fingerprint string    `json:"fingerprint"`
-	Rows        int       `json:"rows"`
-	Attributes  int       `json:"attributes"`
-	Names       []string  `json:"names"`
-	Version     int       `json:"version"`
-	Created     time.Time `json:"created"`
-}
-
-// DiscoverRequest is the body of POST /v1/discover.
-type DiscoverRequest struct {
-	// Dataset is the registered dataset id (required).
-	Dataset string `json:"dataset"`
-	// Algorithm is depminer (default), depminer2, fastfds, tane, or
-	// incremental (re-derive from the maintained session, no re-scan).
-	Algorithm string `json:"algorithm"`
-	// Workers is the worker-pool width (0 = server default).
-	Workers int `json:"workers"`
-	// TimeoutMS is the requested deadline, clamped to the server's
-	// MaxTimeout (0 = the server cap).
-	TimeoutMS int64 `json:"timeout_ms"`
-	// BudgetUnits is the requested guard unit budget, clamped to the
-	// server's MaxBudgetUnits.
-	BudgetUnits int64 `json:"budget_units"`
-	// MaxCouples enables the Algorithm 2 → 3 degradation threshold.
-	MaxCouples int `json:"max_couples"`
-	// Epsilon is the approximate-dependency threshold (tane only).
-	Epsilon float64 `json:"epsilon"`
-	// MaxPartitionBytes caps resident partition bytes (tane only).
-	MaxPartitionBytes int64 `json:"max_partition_bytes"`
-	// Armstrong includes the Armstrong relation in the response
-	// (depminer/depminer2 only).
-	Armstrong bool `json:"armstrong"`
-	// Async forces the execution mode; nil applies the server's
-	// row-count threshold.
-	Async *bool `json:"async,omitempty"`
-}
-
-// DiscoverResponse is the outcome of a discovery, inline (sync) or via a
-// job record (async).
-type DiscoverResponse struct {
-	Dataset            string     `json:"dataset"`
-	Fingerprint        string     `json:"fingerprint"`
-	Algorithm          string     `json:"algorithm"`
-	Rows               int        `json:"rows"`
-	Attributes         int        `json:"attributes"`
-	FDs                []string   `json:"fds"`
-	Cached             bool       `json:"cached"`
-	Partial            bool       `json:"partial,omitempty"`
-	Error              string     `json:"error,omitempty"`
-	Notes              []string   `json:"notes,omitempty"`
-	Couples            int        `json:"couples,omitempty"`
-	AgreeSets          int        `json:"agree_sets,omitempty"`
-	MaxSets            int        `json:"max_sets,omitempty"`
-	LatticeNodes       int        `json:"lattice_nodes,omitempty"`
-	DFSNodes           int        `json:"dfs_nodes,omitempty"`
-	Armstrong          [][]string `json:"armstrong,omitempty"`
-	ArmstrongSynthetic bool       `json:"armstrong_synthetic,omitempty"`
-	BudgetUsed         int64      `json:"budget_used,omitempty"`
-	ElapsedMS          float64    `json:"elapsed_ms"`
-}
-
-// JobInfo is the wire description of an async discovery job.
-type JobInfo struct {
-	ID        string            `json:"id"`
-	Dataset   string            `json:"dataset"`
-	Algorithm string            `json:"algorithm"`
-	State     string            `json:"state"`
-	Created   time.Time         `json:"created"`
-	Finished  *time.Time        `json:"finished,omitempty"`
-	Error     string            `json:"error,omitempty"`
-	Result    *DiscoverResponse `json:"result,omitempty"`
-}
-
-// RegisterResponse is the body of POST /v1/datasets.
-type RegisterResponse struct {
-	DatasetInfo
-	// Existing reports idempotent re-registration of identical content.
-	Existing bool `json:"existing,omitempty"`
-}
-
-// AppendResponse is the body of POST /v1/datasets/{id}/rows.
-type AppendResponse struct {
-	ID          string `json:"id"`
-	Appended    int    `json:"appended"`
-	Rows        int    `json:"rows"`
-	Fingerprint string `json:"fingerprint"`
-	Invalidated int    `json:"invalidated"`
-	Error       string `json:"error,omitempty"`
-}
-
-// DiscoveryStats is the discovery section of /v1/stats.
-type DiscoveryStats struct {
-	Total        int64              `json:"total"`
-	Partial      int64              `json:"partial"`
-	Failed       int64              `json:"failed"`
-	Sync         int64              `json:"sync"`
-	Async        int64              `json:"async"`
-	PhaseTotalMS map[string]float64 `json:"phase_total_ms"`
-}
-
-// PstoreStats is the partition-store section of /v1/stats, aggregated
-// over every TANE run the process served.
-type PstoreStats struct {
-	Hits       int64 `json:"hits"`
-	Misses     int64 `json:"misses"`
-	Evictions  int64 `json:"evictions"`
-	Recomputes int64 `json:"recomputes"`
-	PeakBytes  int64 `json:"peak_bytes"`
-}
-
-// StatsResponse is the body of GET /v1/stats.
-type StatsResponse struct {
-	UptimeMS    float64        `json:"uptime_ms"`
-	Draining    bool           `json:"draining"`
-	Datasets    int            `json:"datasets"`
-	Jobs        JobQueueStats  `json:"jobs"`
-	Cache       CacheStats     `json:"cache"`
-	Discoveries DiscoveryStats `json:"discoveries"`
-	Pstore      PstoreStats    `json:"pstore"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
+// The request/response shapes live in the public repro/wire package,
+// shared with the client SDK (repro/client) so the two sides cannot
+// drift. The aliases keep the server code and its tests reading
+// naturally; they are the same types, not copies.
+type (
+	DatasetInfo      = wire.DatasetInfo
+	DiscoverRequest  = wire.DiscoverRequest
+	DiscoverResponse = wire.DiscoverResponse
+	JobInfo          = wire.JobInfo
+	RegisterResponse = wire.RegisterResponse
+	AppendResponse   = wire.AppendResponse
+	JobQueueStats    = wire.JobQueueStats
+	CacheStats       = wire.CacheStats
+	DiscoveryStats   = wire.DiscoveryStats
+	PstoreStats      = wire.PstoreStats
+	StatsResponse    = wire.StatsResponse
+)
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -153,7 +43,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// retryAfterSeconds renders d in the RFC 9110 delta-seconds form of
+// Retry-After — a non-negative decimal integer — rounded up so a client
+// honouring the hint never retries early, minimum 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // rejectDraining answers 503 on mutating endpoints once Shutdown began.
@@ -285,7 +186,7 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 // request's async field overrides the threshold.
 func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	var req DiscoverRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := wire.DecodeStrict(r.Body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -312,7 +213,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.jobs.tryAdmit() {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeError(w, http.StatusTooManyRequests,
 			"job queue full: %d discoveries running (cap %d)", s.cfg.MaxJobs, s.cfg.MaxJobs)
 		return

@@ -4,13 +4,15 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/wire"
 )
 
-// Job states.
+// Job states (wire constants, re-exported for the server's own use).
 const (
-	JobRunning = "running"
-	JobDone    = "done"
-	JobFailed  = "failed"
+	JobRunning = wire.JobRunning
+	JobDone    = wire.JobDone
+	JobFailed  = wire.JobFailed
 )
 
 // job is one admitted discovery, sync or async. Async jobs are queryable
@@ -147,16 +149,6 @@ func (q *jobQueue) get(id string) (*job, bool) {
 	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
 	return j, ok
-}
-
-// JobQueueStats is the jobs section of /v1/stats.
-type JobQueueStats struct {
-	Cap         int   `json:"cap"`
-	Running     int   `json:"running"`
-	PeakRunning int   `json:"peak_running"`
-	Admitted    int64 `json:"admitted"`
-	Rejected    int64 `json:"rejected"`
-	Retained    int   `json:"retained"`
 }
 
 func (q *jobQueue) stats() JobQueueStats {

@@ -64,6 +64,10 @@ type Config struct {
 	MaxJobRecords int
 	// CacheEntries caps the result cache. Default 128.
 	CacheEntries int
+	// RetryAfter is the delay hinted in the Retry-After header of 429
+	// responses, rendered as RFC 9110 delta-seconds (rounded up, min 1).
+	// Default 1s.
+	RetryAfter time.Duration
 	// Workers is the default worker-pool width for discoveries whose
 	// request omits it: 0 = all cores.
 	Workers int
@@ -90,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 128
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
 	}
 	return c
 }

@@ -1,0 +1,192 @@
+// Package wire defines the JSON request/response types of the depminerd
+// HTTP API. It is the single source of truth shared by the server
+// (internal/server) and the public Go client (repro/client), so the two
+// sides cannot drift: a field added here is immediately visible to both.
+//
+// The package is deliberately dependency-free (standard library only)
+// and contains no behaviour beyond JSON shape — policy lives in the
+// server, transport in the client.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Job states reported in JobInfo.State.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// DatasetInfo is the wire description of a registered dataset.
+type DatasetInfo struct {
+	ID          string    `json:"id"`
+	Name        string    `json:"name,omitempty"`
+	Fingerprint string    `json:"fingerprint"`
+	Rows        int       `json:"rows"`
+	Attributes  int       `json:"attributes"`
+	Names       []string  `json:"names"`
+	Version     int       `json:"version"`
+	Created     time.Time `json:"created"`
+}
+
+// DiscoverRequest is the body of POST /v1/discover. The server decodes
+// it strictly (DecodeStrict): unknown fields are rejected with 400, so a
+// misspelled knob fails loudly instead of silently running with defaults.
+type DiscoverRequest struct {
+	// Dataset is the registered dataset id (required).
+	Dataset string `json:"dataset"`
+	// Algorithm is depminer (default), depminer2, fastfds, tane, or
+	// incremental (re-derive from the maintained session, no re-scan).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Workers is the worker-pool width (0 = server default).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS is the requested deadline, clamped to the server's
+	// MaxTimeout (0 = the server cap).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// BudgetUnits is the requested guard unit budget, clamped to the
+	// server's MaxBudgetUnits.
+	BudgetUnits int64 `json:"budget_units,omitempty"`
+	// MaxCouples enables the Algorithm 2 → 3 degradation threshold.
+	MaxCouples int `json:"max_couples,omitempty"`
+	// Epsilon is the approximate-dependency threshold (tane only).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// MaxPartitionBytes caps resident partition bytes (tane only).
+	MaxPartitionBytes int64 `json:"max_partition_bytes,omitempty"`
+	// Armstrong includes the Armstrong relation in the response
+	// (depminer/depminer2 only).
+	Armstrong bool `json:"armstrong,omitempty"`
+	// Async forces the execution mode; nil applies the server's
+	// row-count threshold.
+	Async *bool `json:"async,omitempty"`
+}
+
+// DiscoverResponse is the outcome of a discovery, inline (sync) or via a
+// job record (async).
+type DiscoverResponse struct {
+	Dataset            string     `json:"dataset"`
+	Fingerprint        string     `json:"fingerprint"`
+	Algorithm          string     `json:"algorithm"`
+	Rows               int        `json:"rows"`
+	Attributes         int        `json:"attributes"`
+	FDs                []string   `json:"fds"`
+	Cached             bool       `json:"cached"`
+	Partial            bool       `json:"partial,omitempty"`
+	Error              string     `json:"error,omitempty"`
+	Notes              []string   `json:"notes,omitempty"`
+	Couples            int        `json:"couples,omitempty"`
+	AgreeSets          int        `json:"agree_sets,omitempty"`
+	MaxSets            int        `json:"max_sets,omitempty"`
+	LatticeNodes       int        `json:"lattice_nodes,omitempty"`
+	DFSNodes           int        `json:"dfs_nodes,omitempty"`
+	Armstrong          [][]string `json:"armstrong,omitempty"`
+	ArmstrongSynthetic bool       `json:"armstrong_synthetic,omitempty"`
+	BudgetUsed         int64      `json:"budget_used,omitempty"`
+	ElapsedMS          float64    `json:"elapsed_ms"`
+}
+
+// JobInfo is the wire description of an async discovery job.
+type JobInfo struct {
+	ID        string            `json:"id"`
+	Dataset   string            `json:"dataset"`
+	Algorithm string            `json:"algorithm"`
+	State     string            `json:"state"`
+	Created   time.Time         `json:"created"`
+	Finished  *time.Time        `json:"finished,omitempty"`
+	Error     string            `json:"error,omitempty"`
+	Result    *DiscoverResponse `json:"result,omitempty"`
+}
+
+// RegisterResponse is the body of POST /v1/datasets.
+type RegisterResponse struct {
+	DatasetInfo
+	// Existing reports idempotent re-registration of identical content.
+	Existing bool `json:"existing,omitempty"`
+}
+
+// AppendResponse is the body of POST /v1/datasets/{id}/rows.
+type AppendResponse struct {
+	ID          string `json:"id"`
+	Appended    int    `json:"appended"`
+	Rows        int    `json:"rows"`
+	Fingerprint string `json:"fingerprint"`
+	Invalidated int    `json:"invalidated"`
+	Error       string `json:"error,omitempty"`
+}
+
+// JobQueueStats is the jobs section of /v1/stats.
+type JobQueueStats struct {
+	Cap         int   `json:"cap"`
+	Running     int   `json:"running"`
+	PeakRunning int   `json:"peak_running"`
+	Admitted    int64 `json:"admitted"`
+	Rejected    int64 `json:"rejected"`
+	Retained    int   `json:"retained"`
+}
+
+// CacheStats is the cache section of /v1/stats.
+type CacheStats struct {
+	Entries       int   `json:"entries"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+// DiscoveryStats is the discovery section of /v1/stats.
+type DiscoveryStats struct {
+	Total        int64              `json:"total"`
+	Partial      int64              `json:"partial"`
+	Failed       int64              `json:"failed"`
+	Sync         int64              `json:"sync"`
+	Async        int64              `json:"async"`
+	PhaseTotalMS map[string]float64 `json:"phase_total_ms"`
+}
+
+// PstoreStats is the partition-store section of /v1/stats, aggregated
+// over every TANE run the process served.
+type PstoreStats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	Recomputes int64 `json:"recomputes"`
+	PeakBytes  int64 `json:"peak_bytes"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeMS    float64        `json:"uptime_ms"`
+	Draining    bool           `json:"draining"`
+	Datasets    int            `json:"datasets"`
+	Jobs        JobQueueStats  `json:"jobs"`
+	Cache       CacheStats     `json:"cache"`
+	Discoveries DiscoveryStats `json:"discoveries"`
+	Pstore      PstoreStats    `json:"pstore"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// DecodeStrict decodes one JSON value from r into v, rejecting unknown
+// fields and trailing data. The server applies it to request bodies whose
+// fields are behavioural knobs (POST /v1/discover), so a typo like
+// "budgetunits" is a 400, not a silently ignored option.
+func DecodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// Demand a clean EOF: More() is not enough — it answers false for a
+	// stray ']' or '}', which json.Unmarshal would reject.
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}

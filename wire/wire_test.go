@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDecodeStrict pins the strictness contract the server relies on
+// for POST /v1/discover: unknown fields and trailing data are errors,
+// valid bodies (with surrounding whitespace) are not.
+func TestDecodeStrict(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr bool
+	}{
+		{"valid", `{"dataset":"ds-1","algorithm":"tane","epsilon":0.1}`, false},
+		{"valid empty", `{}`, false},
+		{"valid async", `{"dataset":"d","async":false}`, false},
+		{"leading/trailing whitespace", "\n  {\"dataset\":\"d\"}  \n", false},
+		{"unknown field", `{"dataset":"d","budgetunits":5}`, true},
+		{"misspelled knob", `{"dataset":"d","timeoutms":100}`, true},
+		{"nested unknown is unknown too", `{"dataset":"d","options":{"workers":2}}`, true},
+		{"trailing value", `{"dataset":"d"}{"dataset":"e"}`, true},
+		{"trailing garbage", `{"dataset":"d"} nope`, true},
+		{"not an object", `[1,2,3]`, true},
+		{"empty input", ``, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var req DiscoverRequest
+			err := DecodeStrict(strings.NewReader(tc.in), &req)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("DecodeStrict(%q) err = %v, wantErr = %v", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+}
