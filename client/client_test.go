@@ -122,6 +122,53 @@ func TestRetriesExhaust(t *testing.T) {
 	}
 }
 
+// TestDrain503RetriedWithBackoff: the shape depminerd serves while
+// draining — 503, Retry-After, a JSON body naming the condition — is
+// retryable for idempotent calls. A client that waits out the hint lands
+// on the restarted (or another) replica and succeeds.
+func TestDrain503RetriedWithBackoff(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt time.Time
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt = time.Now()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "server is draining"})
+		default:
+			secondAt = time.Now()
+			writeJSON(w, http.StatusOK, wire.DiscoverResponse{Dataset: "ds-x", FDs: []string{"a → b"}})
+		}
+	}, WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: -1}))
+
+	resp, err := c.Discover(context.Background(), wire.DiscoverRequest{Dataset: "ds-x"})
+	if err != nil {
+		t.Fatalf("discover across drain: %v", err)
+	}
+	if len(resp.FDs) != 1 || calls.Load() != 2 {
+		t.Fatalf("resp=%+v calls=%d", resp, calls.Load())
+	}
+	if waited := secondAt.Sub(firstAt); waited < time.Second {
+		t.Fatalf("retried after %v, before the drain's 1s Retry-After elapsed", waited)
+	}
+	// The drain condition stays visible on the typed error path too: a
+	// never-recovering drain surfaces ErrUnavailable with the body's text.
+	var calls2 atomic.Int64
+	c2, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		calls2.Add(1)
+		w.Header().Set("Retry-After", "0")
+		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "server is draining"})
+	}, WithRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, Jitter: -1}))
+	_, err = c2.Discover(context.Background(), wire.DiscoverRequest{Dataset: "ds-x"})
+	var apiErr *APIError
+	if !errors.Is(err, ErrUnavailable) || !errors.As(err, &apiErr) || apiErr.Message != "server is draining" {
+		t.Fatalf("exhausted drain err = %v", err)
+	}
+	if calls2.Load() != 2 {
+		t.Fatalf("drain-503 not retried: %d attempts", calls2.Load())
+	}
+}
+
 // TestNonRetryableStatusFailsFast: a 400 must not burn retry attempts.
 func TestNonRetryableStatusFailsFast(t *testing.T) {
 	var calls atomic.Int64

@@ -17,7 +17,11 @@ import (
 // client for it.
 func liveServer(t *testing.T, cfg server.Config, opts ...Option) *Client {
 	t.Helper()
-	ts := httptest.NewServer(server.New(cfg))
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return New(ts.URL, opts...)
 }

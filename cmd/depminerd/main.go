@@ -58,7 +58,11 @@ func main() {
 	flag.IntVar(&cfg.server.MaxDatasets, "max-datasets", 64, "cap on registered datasets")
 	flag.IntVar(&cfg.server.CacheEntries, "cache-entries", 128, "cap on result-cache entries (LRU)")
 	flag.IntVar(&cfg.server.Workers, "workers", 0, "default worker-pool width for discoveries (0 = all cores)")
+	flag.StringVar(&cfg.server.DataDir, "data-dir", "", "data directory for durable datasets (WAL + snapshots, recovered on boot); empty = memory-only")
+	fsync := flag.Bool("fsync", true, "fsync every acknowledged write (durable mode only); false trades crash-durability of the latest appends for speed")
+	flag.IntVar(&cfg.server.SnapshotEvery, "snapshot-every", 0, "WAL records per dataset before background compaction into a snapshot (0 = default 256, negative = never)")
 	flag.Parse()
+	cfg.server.DisableFsync = !*fsync
 
 	cli.Main("depminerd", func(ctx context.Context) error {
 		return run(ctx, cfg, func(addr string) {
@@ -71,7 +75,10 @@ func main() {
 // ready is called with the bound address once the listener is up — the
 // smoke tests and -addr :0 users discover the port from it.
 func run(ctx context.Context, cfg config, ready func(addr string)) error {
-	srv := server.New(cfg.server)
+	srv, err := server.New(cfg.server)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err

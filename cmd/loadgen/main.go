@@ -186,8 +186,21 @@ type mixEntry struct {
 
 var knownOps = map[string]bool{"hit": true, "cold": true, "append": true, "inc": true, "async": true}
 
-// parseMix parses "hit=4,cold=2,append=1" into weighted entries.
+// mixPresets are named mixes accepted wherever a weighted list is:
+// append-heavy is the durability benchmark — appends dominate so the WAL
+// group-commit path (syncs vs batched_records in the report's durable
+// server stats) carries the load, with just enough discovery traffic to
+// keep the cache-invalidation race honest.
+var mixPresets = map[string]string{
+	"append-heavy": "append=8,inc=1,hit=1",
+}
+
+// parseMix parses "hit=4,cold=2,append=1" into weighted entries; a
+// preset name ("append-heavy") expands to its definition first.
 func parseMix(s string) ([]mixEntry, error) {
+	if preset, ok := mixPresets[strings.TrimSpace(s)]; ok {
+		s = preset
+	}
 	var out []mixEntry
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -432,7 +445,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "depminerd base URL")
 	flag.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers (each runs one request at a time)")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to generate load")
-	flag.StringVar(&cfg.mix, "mix", "hit=4,cold=2,append=1,inc=1,async=1", "weighted operation mix (op=weight,...)")
+	flag.StringVar(&cfg.mix, "mix", "hit=4,cold=2,append=1,inc=1,async=1", "weighted operation mix (op=weight,...) or a preset name (append-heavy)")
 	flag.IntVar(&cfg.rows, "rows", 200, "rows in the generated datasets")
 	flag.IntVar(&cfg.attrs, "attrs", 6, "attributes in the generated datasets")
 	flag.Int64Var(&cfg.seed, "seed", 1, "deterministic dataset and mix-draw seed")

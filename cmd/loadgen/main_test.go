@@ -17,7 +17,11 @@ import (
 // with scalar top-level requests/errors fields (what scripts/jsonfield
 // reads one level deep).
 func TestRunSmoke(t *testing.T) {
-	ts := httptest.NewServer(server.New(server.Config{MaxJobs: 2, RetryAfter: time.Second}))
+	srv, err := server.New(server.Config{MaxJobs: 2, RetryAfter: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
 	rep, err := run(context.Background(), config{
@@ -80,6 +84,54 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// TestRunAppendHeavyDurable drives the append-heavy preset against a
+// durable server and asserts the report exposes the WAL group-commit
+// evidence CI graphs: durable server stats with acknowledged append
+// records and the fsyncs that covered them.
+func TestRunAppendHeavyDurable(t *testing.T) {
+	srv, err := server.New(server.Config{
+		MaxJobs:    2,
+		RetryAfter: time.Second,
+		DataDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	rep, err := run(context.Background(), config{
+		addr:        ts.URL,
+		concurrency: 4,
+		duration:    time.Second,
+		mix:         "append-heavy",
+		rows:        50,
+		attrs:       5,
+		seed:        1,
+		maxAttempts: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d unexpected errors: %+v", rep.Errors, rep.Ops)
+	}
+	if st := rep.Ops["append"]; st == nil || st.OK == 0 {
+		t.Fatalf("append-heavy preset produced no successful appends: %+v", rep.Ops)
+	}
+	d := rep.ServerStats.Durable
+	if d == nil {
+		t.Fatal("durable server stats missing from report")
+	}
+	if d.AppendRecords == 0 || d.Syncs == 0 {
+		t.Fatalf("no WAL activity recorded: %+v", d)
+	}
+	// Group commit never fsyncs more often than once per record.
+	if d.Syncs > d.AppendRecords {
+		t.Fatalf("more syncs (%d) than append records (%d)", d.Syncs, d.AppendRecords)
+	}
+}
+
 // TestParseMix pins the -mix grammar.
 func TestParseMix(t *testing.T) {
 	mix, err := parseMix("hit=4, cold=2 ,append=1")
@@ -100,6 +152,13 @@ func TestParseMix(t *testing.T) {
 	}
 	if mix, err := parseMix("async"); err != nil || len(mix) != 1 || mix[0].weight != 1 {
 		t.Fatalf("bare op: mix = %+v, err = %v", mix, err)
+	}
+	preset, err := parseMix("append-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preset) != 3 || preset[0].op != "append" || preset[0].weight != 8 {
+		t.Fatalf("append-heavy preset = %+v", preset)
 	}
 }
 

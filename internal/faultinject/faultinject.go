@@ -40,13 +40,35 @@ const (
 	PstoreRecompute = "pstore/recompute" // before each partition recompute on a store miss
 )
 
-// Points lists every hook point, for tests that sweep all of them.
+// Storage and session hook points: the durable WAL/snapshot layer and the
+// incremental miner. They fire on the serving path rather than inside a
+// pipeline run, so they are swept by the durable/incremental/server test
+// suites (StorePoints), not by the pipeline fault sweep (Points).
+const (
+	DurableWrite      = "durable/write"      // before each WAL frame or snapshot write
+	DurableFsync      = "durable/fsync"      // before each fsync (group commit and snapshot)
+	DurableRename     = "durable/rename"     // before the snapshot temp → final rename
+	DurableReplay     = "durable/replay"     // at the start of each dataset's boot replay
+	IncrementalInsert = "incremental/insert" // inside InsertCtx's candidate scan and before commit
+)
+
+// Points lists every pipeline hook point, for tests that sweep all of
+// them through the miners.
 func Points() []string {
 	return []string{
 		CorePartition, CoreAgree, CoreMaxSets, CoreLHS, CoreArmstrong,
 		PoolTask, AgreeChunk, AgreeStride, HypergraphLevel,
 		TANELevel, KeysLevel, INDLevel, FastFDsAttr,
 		PstoreEvict, PstoreRecompute,
+	}
+}
+
+// StorePoints lists the storage/session hook points, swept by the
+// durability and incremental-session fault tests.
+func StorePoints() []string {
+	return []string{
+		DurableWrite, DurableFsync, DurableRename, DurableReplay,
+		IncrementalInsert,
 	}
 }
 

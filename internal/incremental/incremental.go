@@ -26,6 +26,7 @@ import (
 	"repro/internal/attrset"
 	"repro/internal/core"
 	"repro/internal/fd"
+	"repro/internal/faultinject"
 	"repro/internal/guard"
 	"repro/internal/relation"
 )
@@ -157,6 +158,9 @@ func (m *Miner) InsertCtx(ctx context.Context, row []string) error {
 			if err := insertCtxErr(ctx); err != nil {
 				return err
 			}
+			if err := faultinject.Fire(faultinject.IncrementalInsert); err != nil {
+				return err
+			}
 		}
 		var s attrset.Set
 		for a := range codes {
@@ -165,6 +169,10 @@ func (m *Miner) InsertCtx(ctx context.Context, row []string) error {
 			}
 		}
 		staged = append(staged, s)
+	}
+	// Last abort point before the commit below becomes visible.
+	if err := faultinject.Fire(faultinject.IncrementalInsert); err != nil {
+		return err
 	}
 	// Commit: agree sets first, then the tuple itself.
 	for _, s := range staged {

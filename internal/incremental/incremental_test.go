@@ -11,6 +11,7 @@ import (
 	"repro/internal/agree"
 	"repro/internal/attrset"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/fd"
 	"repro/internal/guard"
 	"repro/internal/relation"
@@ -309,5 +310,115 @@ func TestFromRelationCtxCancelled(t *testing.T) {
 	cancel()
 	if _, err := FromRelationCtx(ctx, relation.PaperExample()); !errors.Is(err, guard.ErrDeadline) {
 		t.Fatalf("FromRelationCtx under cancelled ctx: err = %v, want guard.ErrDeadline", err)
+	}
+}
+
+// sweepStream is the insert stream for the staged-commit fault sweep:
+// every row shares values with earlier rows so each insert stages a
+// non-empty batch of agree sets, making a mid-insert abort that leaked
+// half a batch detectable.
+func sweepStream() [][]string {
+	rows := make([][]string, 12)
+	for i := range rows {
+		rows[i] = []string{
+			"g" + strconv.Itoa(i%3),
+			"h" + strconv.Itoa(i%2),
+			"u" + strconv.Itoa(i),
+		}
+	}
+	return rows
+}
+
+// sameAgree reports whether two miners hold the identical ag(r).
+func sameAgree(a, b *Miner) bool {
+	x, y := a.AgreeSets(), b.AgreeSets()
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// referenceMiner replays the first n stream rows into a fresh miner.
+func referenceMiner(t *testing.T, names []string, stream [][]string, n int) *Miner {
+	t.Helper()
+	ref, err := New(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range stream[:n] {
+		if err := ref.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ref
+}
+
+// TestInsertFaultSweepNeverLeaksPartialCommit injects a failure at every
+// crossing of the incremental/insert fault point in turn — each stride
+// check and each pre-commit gate of every insert in the stream — and
+// asserts the staged-commit contract: an aborted insert leaves ag(r)
+// exactly consistent with the committed row count (byte-identical to a
+// from-scratch miner over those rows), and retrying converges to the
+// same final state as a fault-free run.
+func TestInsertFaultSweepNeverLeaksPartialCommit(t *testing.T) {
+	defer faultinject.Reset()
+	names := []string{"a", "b", "c"}
+	stream := sweepStream()
+
+	// Count the fault-point crossings of one clean run to size the sweep.
+	crossings := 0
+	faultinject.Set(faultinject.IncrementalInsert, func() error {
+		crossings++
+		return nil
+	})
+	clean := referenceMiner(t, names, stream, len(stream))
+	faultinject.Reset()
+	if crossings < len(stream) {
+		t.Fatalf("only %d fault-point crossings for %d inserts; hook not wired?", crossings, len(stream))
+	}
+
+	errBoom := errors.New("injected insert fault")
+	for k := 0; k < crossings; k++ {
+		m, err := New(names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultinject.Set(faultinject.IncrementalInsert, faultinject.After(k, faultinject.FailWith(errBoom)))
+		faulted := -1
+		for i, row := range stream {
+			if ierr := m.InsertCtx(context.Background(), row); ierr != nil {
+				if !errors.Is(ierr, errBoom) {
+					t.Fatalf("k=%d row %d: unexpected error %v", k, i, ierr)
+				}
+				faulted = i
+				break
+			}
+		}
+		faultinject.Reset()
+		if faulted < 0 {
+			t.Fatalf("k=%d: fault never fired", k)
+		}
+		// The aborted insert must have committed nothing: rows and ag(r)
+		// match a from-scratch replay of the successful prefix.
+		if m.Rows() != faulted {
+			t.Fatalf("k=%d: fault at row %d left Rows=%d", k, faulted, m.Rows())
+		}
+		if !sameAgree(m, referenceMiner(t, names, stream, faulted)) {
+			t.Fatalf("k=%d: fault at row %d left ag(r) inconsistent with %d committed rows", k, faulted, faulted)
+		}
+		// Retrying the faulted row and the rest converges to the clean run.
+		for _, row := range stream[faulted:] {
+			if err := m.Insert(row); err != nil {
+				t.Fatalf("k=%d: retry failed: %v", k, err)
+			}
+		}
+		if m.Rows() != clean.Rows() || !sameAgree(m, clean) {
+			t.Fatalf("k=%d: post-retry state diverged from fault-free run", k)
+		}
 	}
 }

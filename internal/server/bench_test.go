@@ -18,7 +18,10 @@ import (
 // under the sync threshold.
 func benchServer(b *testing.B) (*Server, *httptest.Server, string, []byte) {
 	b.Helper()
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	b.Cleanup(ts.Close)
 

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/guard"
 	"repro/internal/incremental"
 	"repro/internal/relation"
@@ -58,8 +59,13 @@ func retryAfterSeconds(d time.Duration) string {
 }
 
 // rejectDraining answers 503 on mutating endpoints once Shutdown began.
+// The response carries Retry-After — a drain usually precedes a restart,
+// so a client that waits and retries lands on the replacement process —
+// and a JSON body naming the condition, so SDK clients surface
+// "draining" rather than a bare status code.
 func (s *Server) rejectDraining(w http.ResponseWriter) bool {
 	if s.Draining() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return true
 	}
@@ -92,11 +98,25 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, classifyStatus(err), "building incremental session: %v", err)
 		return
 	}
-	d, created, err := s.reg.register(r.URL.Query().Get("name"), rel, m, time.Now())
+	name := r.URL.Query().Get("name")
+	var create durableCreate
+	if s.store != nil {
+		create = func(id, fp string) (*durable.Dataset, error) {
+			rows := make([][]string, rel.Rows())
+			for t := range rows {
+				rows[t] = rel.Row(t)
+			}
+			return s.store.Create(id, name, rel.Names(), rows, fp)
+		}
+	}
+	d, created, err := s.reg.register(name, rel, m, time.Now(), create)
 	if err != nil {
 		code := http.StatusInternalServerError
-		if errors.Is(err, errRegistryFull) {
+		switch {
+		case errors.Is(err, errRegistryFull):
 			code = http.StatusInsufficientStorage
+		case errors.Is(err, errDurability):
+			code = http.StatusServiceUnavailable
 		}
 		writeError(w, code, "%v", err)
 		return
@@ -169,7 +189,10 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	if aerr != nil {
 		resp.Error = aerr.Error()
 		code := http.StatusBadRequest
-		if errors.Is(aerr, guard.ErrDeadline) {
+		if errors.Is(aerr, guard.ErrDeadline) || errors.Is(aerr, errDurability) {
+			// Not acknowledged: on a durability failure the committed
+			// rows may not have reached disk, and the dataset is now
+			// read-only until restart.
 			code = http.StatusServiceUnavailable
 		}
 		writeJSON(w, code, resp)
@@ -322,7 +345,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PeakBytes:  s.stats.pstore.PeakBytes,
 	}
 	s.stats.mu.Unlock()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		UptimeMS:    float64(time.Since(s.started)) / float64(time.Millisecond),
 		Draining:    s.Draining(),
 		Datasets:    s.reg.count(),
@@ -330,7 +353,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:       s.cache.stats(),
 		Discoveries: disc,
 		Pstore:      ps,
-	})
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		dur := &wire.DurableStats{
+			Datasets:        st.Datasets,
+			AppendRecords:   st.AppendRecords,
+			Syncs:           st.Syncs,
+			BatchedRecords:  st.BatchedRecords,
+			Snapshots:       st.Snapshots,
+			CompactErrors:   st.CompactErrors,
+			WALBytes:        st.WALBytes,
+			Recovered:       st.Recovered,
+			ReplayedRecords: st.ReplayedRecords,
+			TruncatedTails:  st.TruncatedTails,
+			Quarantined:     st.Quarantined,
+			Broken:          st.Broken,
+		}
+		for _, q := range s.recovery.Quarantined {
+			dur.QuarantinedSets = append(dur.QuarantinedSets, wire.QuarantinedDataset{
+				ID: q.ID, Reason: q.Reason, Path: q.Path,
+			})
+		}
+		resp.Durable = dur
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz implements GET /healthz: 200 while serving, 503 once

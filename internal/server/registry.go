@@ -2,14 +2,11 @@ package server
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"fmt"
-	"hash"
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/fd"
 	"repro/internal/incremental"
 	"repro/internal/relation"
@@ -20,7 +17,8 @@ import (
 // fingerprint. The fingerprint commits the schema and every appended row
 // in order, so it identifies the exact relation instance — the result
 // cache keys on it, which makes append-then-discover a guaranteed miss
-// and repeat discovery a guaranteed hit.
+// and repeat discovery a guaranteed hit. The same fingerprint is logged
+// with every durable record, which is what recovery verifies against.
 type dataset struct {
 	id      string
 	name    string
@@ -31,28 +29,20 @@ type dataset struct {
 	// pair.
 	mu     sync.Mutex
 	miner  *incremental.Miner
-	hasher hash.Hash
+	hasher *durable.Fingerprint
 	fp     string
 	// version counts committed appends; the cached snapshot is keyed on
 	// it so discoveries re-materialise the relation only after growth.
 	version     int
 	snap        *relation.Relation
 	snapVersion int
-}
 
-// hashField writes one length-framed string into the running hash;
-// framing keeps ["ab","c"] distinct from ["a","bc"].
-func hashField(h hash.Hash, s string) {
-	var n [4]byte
-	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
-	h.Write(n[:])
-	h.Write([]byte(s))
-}
-
-func hashRow(h hash.Hash, row []string) {
-	for _, v := range row {
-		hashField(h, v)
-	}
+	// dur is the dataset's durable handle; nil when the server runs
+	// memory-only (no -data-dir). brokenErr is the sticky durability
+	// failure: once the WAL cannot be trusted to match memory the
+	// dataset stops accepting appends and serves reads only.
+	dur       *durable.Dataset
+	brokenErr error
 }
 
 // info snapshots the dataset's wire description.
@@ -88,27 +78,66 @@ func (d *dataset) snapshot() (*relation.Relation, string, error) {
 	return d.snap, d.fp, nil
 }
 
+// errDurability marks appends (or registrations) refused because the
+// durable layer failed; the handler maps it to 503. Once raised for a
+// dataset it is sticky: memory may be ahead of the last durable record,
+// so the dataset serves reads only until the operator restarts — at
+// which point recovery rebuilds exactly the durable prefix.
+var errDurability = fmt.Errorf("durability failure")
+
 // appendRows commits rows to the incremental session, updating ag(r) and
 // the running fingerprint per committed row. On a mid-append abort
 // (deadline, cancellation, bad arity) the rows inserted so far stay
 // committed and the fingerprint reflects exactly them, so the dataset
 // remains consistent; the count of committed rows is returned either way.
+//
+// With durability on, the committed prefix is logged and fsync'd before
+// returning: the WAL frame is written under the dataset lock, then the
+// lock is released before the group-commit wait, so concurrent appends
+// to other datasets — and later appends to this one queued behind the
+// lock — overlap the fsync instead of serialising on it.
 func (d *dataset) appendRows(ctx context.Context, rows [][]string) (committed int, fp string, err error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	if d.brokenErr != nil {
+		fp = d.fp
+		d.mu.Unlock()
+		return 0, fp, fmt.Errorf("%w: %v", errDurability, d.brokenErr)
+	}
 	for _, row := range rows {
 		if ierr := d.miner.InsertCtx(ctx, row); ierr != nil {
 			err = ierr
 			break
 		}
-		hashRow(d.hasher, row)
+		d.hasher.AddRow(row)
 		d.version++
 		committed++
 	}
 	if committed > 0 {
-		d.fp = hex.EncodeToString(d.hasher.Sum(nil))
+		d.fp = d.hasher.Sum()
 	}
-	return committed, d.fp, err
+	fp = d.fp
+	if d.dur == nil || committed == 0 {
+		d.mu.Unlock()
+		return committed, fp, err
+	}
+	// A WAL write failure supersedes any insert error: the dataset is now
+	// broken and the caller must not acknowledge the batch.
+	tok, werr := d.dur.Append(rows[:committed], d.miner.Rows(), d.fp)
+	if werr != nil {
+		d.brokenErr = werr
+		d.mu.Unlock()
+		return committed, fp, fmt.Errorf("%w: %v", errDurability, werr)
+	}
+	d.mu.Unlock()
+	if serr := d.dur.Sync(tok); serr != nil {
+		d.mu.Lock()
+		if d.brokenErr == nil {
+			d.brokenErr = serr
+		}
+		d.mu.Unlock()
+		return committed, fp, fmt.Errorf("%w: %v", errDurability, serr)
+	}
+	return committed, fp, err
 }
 
 // deriveCover re-derives the canonical cover from the maintained agree
@@ -148,19 +177,24 @@ func newRegistry(max int) *registry {
 // status-code mapping.
 var errRegistryFull = fmt.Errorf("dataset registry full")
 
+// durableCreate persists a new dataset's registration record before it
+// becomes visible; nil when the server runs memory-only. It is invoked
+// under the registry lock — registration is rare, so one fsync there is
+// acceptable and guarantees no window where a dataset is addressable but
+// not durable.
+type durableCreate func(id, fp string) (*durable.Dataset, error)
+
 // register adds a relation under a content-derived id. Registering
 // byte-identical content again returns the existing dataset (idempotent),
 // provided it has not been grown since; grown or colliding datasets get a
-// fresh suffixed id.
-func (r *registry) register(name string, rel *relation.Relation, m *incremental.Miner, now time.Time) (*dataset, bool, error) {
-	h := sha256.New()
-	for _, n := range rel.Names() {
-		hashField(h, n)
-	}
+// fresh suffixed id. With durability on, the registration record is
+// logged and fsync'd (via create) before the dataset is published.
+func (r *registry) register(name string, rel *relation.Relation, m *incremental.Miner, now time.Time, create durableCreate) (*dataset, bool, error) {
+	h := durable.NewFingerprint(rel.Names())
 	for t := 0; t < rel.Rows(); t++ {
-		hashRow(h, rel.Row(t))
+		h.AddRow(rel.Row(t))
 	}
-	fp := hex.EncodeToString(h.Sum(nil))
+	fp := h.Sum()
 	base := "ds-" + fp[:12]
 
 	r.mu.Lock()
@@ -182,6 +216,14 @@ func (r *registry) register(name string, rel *relation.Relation, m *incremental.
 	if r.max > 0 && len(r.byID) >= r.max {
 		return nil, false, fmt.Errorf("%w: %d datasets registered (cap %d)", errRegistryFull, len(r.byID), r.max)
 	}
+	var dur *durable.Dataset
+	if create != nil {
+		var err error
+		dur, err = create(id, fp)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: %v", errDurability, err)
+		}
+	}
 	d := &dataset{
 		id:      id,
 		name:    name,
@@ -189,10 +231,51 @@ func (r *registry) register(name string, rel *relation.Relation, m *incremental.
 		miner:   m,
 		hasher:  h,
 		fp:      fp,
+		dur:     dur,
 	}
 	r.byID[id] = d
 	r.ids = append(r.ids, id)
 	return d, true, nil
+}
+
+// restore publishes a dataset recovered from disk at boot: the relation
+// and incremental session are rebuilt from the replayed rows and the
+// fingerprint is recomputed once more on the registry's own hasher — a
+// final cross-check that the recovered content is exactly what was
+// acknowledged.
+func (r *registry) restore(rd durable.RecoveredDataset, dur *durable.Dataset, now time.Time) error {
+	rel, err := relation.FromRows(rd.Names, rd.Rows)
+	if err != nil {
+		return fmt.Errorf("restoring %s: %w", rd.ID, err)
+	}
+	m, err := incremental.FromRelation(rel)
+	if err != nil {
+		return fmt.Errorf("restoring %s: %w", rd.ID, err)
+	}
+	h := durable.NewFingerprint(rd.Names)
+	for _, row := range rd.Rows {
+		h.AddRow(row)
+	}
+	if got := h.Sum(); got != rd.Fingerprint {
+		return fmt.Errorf("restoring %s: rebuilt fingerprint %s does not match recovered %s", rd.ID, got, rd.Fingerprint)
+	}
+	d := &dataset{
+		id:      rd.ID,
+		name:    rd.Name,
+		created: now,
+		miner:   m,
+		hasher:  h,
+		fp:      rd.Fingerprint,
+		dur:     dur,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[rd.ID]; ok {
+		return fmt.Errorf("restoring %s: id already registered", rd.ID)
+	}
+	r.byID[rd.ID] = d
+	r.ids = append(r.ids, rd.ID)
+	return nil
 }
 
 func (r *registry) get(id string) (*dataset, bool) {

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/fastfds"
 	"repro/internal/fd"
 	"repro/internal/guard"
@@ -71,6 +72,18 @@ type Config struct {
 	// Workers is the default worker-pool width for discoveries whose
 	// request omits it: 0 = all cores.
 	Workers int
+	// DataDir, when set, turns on durability: every registration and
+	// append is written to a per-dataset WAL and fsync'd before the
+	// server acknowledges it, snapshots fold the logs in the background,
+	// and boot recovers the registry from disk. Empty = memory-only.
+	DataDir string
+	// DisableFsync acknowledges durable writes without waiting for
+	// fsync — for tests and benchmarks only; a crash can then lose
+	// acknowledged appends (never corrupt the recovered prefix).
+	DisableFsync bool
+	// SnapshotEvery is the WAL record count that triggers background
+	// compaction into a snapshot. 0 = default (256); negative disables.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +132,12 @@ type Server struct {
 	draining bool
 	started  time.Time
 
+	// store is the durability layer; nil when Config.DataDir is empty.
+	// recovery is what boot found on disk, served under /v1/stats so
+	// operators see quarantines without grepping the data directory.
+	store    *durable.Store
+	recovery *durable.Recovery
+
 	stats discoveryStats
 
 	// testHookJobStart, when set, runs while a discovery holds its
@@ -127,8 +146,14 @@ type Server struct {
 	testHookJobStart func(datasetID string)
 }
 
-// New creates a server from the configuration (zero value fine).
-func New(cfg Config) *Server {
+// New creates a server from the configuration (zero value fine). With
+// DataDir set it opens the durable store and rebuilds the registry from
+// disk before serving: recovered datasets are re-registered under their
+// original ids, quarantined ones are reported in /v1/stats. The error is
+// non-nil only for store-level failures (unreadable data dir, a restore
+// that cannot rebuild a verified dataset) — per-dataset damage is
+// quarantined, never fatal.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -142,8 +167,33 @@ func New(cfg Config) *Server {
 		started:    time.Now(),
 	}
 	s.stats.phases = make(map[string]time.Duration)
+	if cfg.DataDir != "" {
+		store, rec, err := durable.Open(durable.Options{
+			Dir:           cfg.DataDir,
+			DisableFsync:  cfg.DisableFsync,
+			SnapshotEvery: cfg.SnapshotEvery,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store, s.recovery = store, rec
+		for _, rd := range rec.Datasets {
+			dur, ok := store.Dataset(rd.ID)
+			if !ok {
+				store.Close()
+				cancel()
+				return nil, fmt.Errorf("server: recovered dataset %s has no durable handle", rd.ID)
+			}
+			if err := s.reg.restore(rd, dur, s.started); err != nil {
+				store.Close()
+				cancel()
+				return nil, fmt.Errorf("server: %w", err)
+			}
+		}
+	}
 	s.routes()
-	return s
+	return s, nil
 }
 
 func (s *Server) routes() {
@@ -184,15 +234,28 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var drainErr error
 	select {
 	case <-done:
 		s.baseCancel()
-		return nil
 	case <-ctx.Done():
 		s.baseCancel() // force: cancel in-flight async jobs
 		<-done
-		return fmt.Errorf("server: drain aborted: %w", ctx.Err())
+		drainErr = fmt.Errorf("server: drain aborted: %w", ctx.Err())
 	}
+	// Final fold: snapshot every dataset so the next boot replays
+	// nothing, then release the WAL handles. Run even on an aborted
+	// drain — appends have stopped (mutating endpoints refuse), so the
+	// fold is consistent.
+	if s.store != nil {
+		if err := s.store.CompactAll(); err != nil && drainErr == nil {
+			drainErr = fmt.Errorf("server: final snapshot: %w", err)
+		}
+		if err := s.store.Close(); err != nil && drainErr == nil {
+			drainErr = fmt.Errorf("server: closing durable store: %w", err)
+		}
+	}
+	return drainErr
 }
 
 // discoveryStats aggregates per-phase timings (from Result.Stats) and

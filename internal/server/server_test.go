@@ -21,7 +21,10 @@ import (
 // tests can reach white-box state (hooks, counters) and the wire at once.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -478,7 +481,10 @@ func TestArmstrongOverWire(t *testing.T) {
 }
 
 func TestTimeoutParamClamped(t *testing.T) {
-	s := New(Config{MaxTimeout: time.Minute, MaxBudgetUnits: 100})
+	s, err := New(Config{MaxTimeout: time.Minute, MaxBudgetUnits: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := s.resolveParams(&DiscoverRequest{TimeoutMS: int64(time.Hour / time.Millisecond), BudgetUnits: 1000})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,27 @@
+// Package torture is the crash-torture harness for the durable serving
+// stack: it boots a real depminerd server process over a data directory,
+// kill-9s it in the middle of an append storm, restarts it, and asserts
+// the durability contract — every acknowledged append survives, the
+// recovered dataset's fingerprint and discovered cover are byte-identical
+// to a from-scratch run over the same rows, and logs damaged beyond a
+// torn tail are quarantined while healthy datasets keep serving.
+//
+// The server child is the test binary re-exec'd: TestMain intercepts the
+// TORTURE_DATA_DIR environment variable and, when set, runs the HTTP
+// server instead of the tests. That keeps the harness self-contained —
+// no go build step, and the child runs under the same -race runtime as
+// the parent.
+//
+// The storm uses two datasets with different verification contracts:
+//
+//   - the verified dataset takes strictly sequential single-row appends
+//     of deterministic content, so after any crash the parent can rebuild
+//     the exact acknowledged prefix, recompute its fingerprint chain, and
+//     run the reference core.Discover for a byte-level cover comparison;
+//   - the storm dataset takes concurrent batches from several goroutines
+//     purely to keep the WAL group-commit path under contention while the
+//     process dies, verified by the no-acked-loss watermark.
+//
+// Cycle count: 20 by default (the acceptance bar), 5 under -short, and
+// -torture.cycles=N overrides both.
+package torture

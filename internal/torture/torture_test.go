@@ -1,0 +1,416 @@
+package torture
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/wire"
+)
+
+var cycles = flag.Int("torture.cycles", 0, "kill-9 cycles to run (0 = 20, or 5 under -short)")
+
+const (
+	envDataDir  = "TORTURE_DATA_DIR"
+	envAddrFile = "TORTURE_ADDR_FILE"
+)
+
+// TestMain re-execs as the server child when TORTURE_DATA_DIR is set.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(envDataDir); dir != "" {
+		runChild(dir, os.Getenv(envAddrFile))
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runChild serves a durable depminerd instance until killed. The bound
+// address is published by atomic rename, so the parent never reads a
+// half-written file.
+func runChild(dataDir, addrFile string) {
+	srv, err := server.New(server.Config{
+		DataDir:       dataDir,
+		SnapshotEvery: 16, // small, so kills land around compactions too
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "torture child: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "torture child: %v\n", err)
+		os.Exit(1)
+	}
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err == nil {
+		err = os.Rename(tmp, addrFile)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "torture child: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv}
+	_ = hs.Serve(ln) // until SIGKILL
+}
+
+// child is one server process run over the shared data directory.
+type child struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr bytes.Buffer
+}
+
+// startChild re-execs the test binary as a server and waits for its
+// address file.
+func startChild(t *testing.T, dataDir, scratch string, cycle int) *child {
+	t.Helper()
+	addrFile := filepath.Join(scratch, fmt.Sprintf("addr-%d", cycle))
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		envDataDir+"="+dataDir,
+		envAddrFile+"="+addrFile,
+	)
+	c := &child{cmd: cmd}
+	cmd.Stderr = &c.stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting child: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil {
+			c.addr = string(data)
+			break
+		}
+		if time.Now().After(deadline) {
+			c.kill()
+			t.Fatalf("child never published its address; stderr:\n%s", c.stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return c
+}
+
+// kill delivers SIGKILL — the crash under test — and reaps the process.
+// cmd.Wait also joins the stderr copier, so reading c.stderr afterwards
+// is safe.
+func (c *child) kill() {
+	_ = c.cmd.Process.Kill()
+	_ = c.cmd.Wait()
+}
+
+func (c *child) client() *client.Client {
+	return client.New("http://" + c.addr)
+}
+
+// stormClient disables retries: the storm must observe the true
+// ack/no-ack outcome of every request, not a retried one.
+func (c *child) stormClient() *client.Client {
+	return client.New("http://"+c.addr, client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 1}))
+}
+
+// The verified dataset's deterministic content: enough structure for a
+// non-trivial cover (B and C functionally depend on A's residues, D is a
+// row id breaking most dependencies the other way).
+var vNames = []string{"a", "b", "c", "d"}
+
+func vRow(i int) []string {
+	return []string{
+		fmt.Sprintf("g%d", i%6),
+		fmt.Sprintf("h%d", (i%6)%3),
+		fmt.Sprintf("k%d", i%2),
+		fmt.Sprintf("r%d", i),
+	}
+}
+
+func vCSV(n int) []byte {
+	var b bytes.Buffer
+	b.WriteString(strings.Join(vNames, ",") + "\n")
+	for i := 0; i < n; i++ {
+		b.WriteString(strings.Join(vRow(i), ",") + "\n")
+	}
+	return b.Bytes()
+}
+
+// vFingerprint recomputes the content fingerprint of the first n rows
+// exactly as the server chains it.
+func vFingerprint(n int) string {
+	f := durable.NewFingerprint(vNames)
+	for i := 0; i < n; i++ {
+		f.AddRow(vRow(i))
+	}
+	return f.Sum()
+}
+
+// vCover runs the reference pipeline over the first n rows and renders
+// the cover the way the server does.
+func vCover(t *testing.T, n int) []string {
+	t.Helper()
+	rows := make([][]string, n)
+	for i := range rows {
+		rows[i] = vRow(i)
+	}
+	rel, err := relation.FromRows(vNames, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Discover(context.Background(), rel, core.Options{Armstrong: core.ArmstrongNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(res.FDs))
+	for i, f := range res.FDs {
+		out[i] = f.Names(rel.Names())
+	}
+	return out
+}
+
+const vInitRows = 8
+
+func TestKill9Torture(t *testing.T) {
+	if testing.Short() && *cycles == 0 {
+		*cycles = 5
+	}
+	n := *cycles
+	if n == 0 {
+		n = 20
+	}
+
+	dataDir := t.TempDir()
+	scratch := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+
+	// ackedV tracks the verified dataset: the highest row count a 2xx
+	// acknowledged, and the total sent (acked or in flight at the kill).
+	// sentV never shrinks across cycles; recovery may land between
+	// ackedV and sentV.
+	var verifiedID, stormID string
+	ackedV, sentV := vInitRows, vInitRows
+	var ackedStormRows atomic.Int64
+
+	for cycle := 0; cycle < n; cycle++ {
+		ch := startChild(t, dataDir, scratch, cycle)
+		cl := ch.client()
+		ctx := context.Background()
+
+		if cycle == 0 {
+			reg, err := cl.Register(ctx, "torture/verified", vCSV(vInitRows))
+			if err != nil {
+				t.Fatalf("register verified: %v", err)
+			}
+			verifiedID = reg.ID
+			sreg, err := cl.Register(ctx, "torture/storm", []byte("x,y,z\n0,0,0\n"))
+			if err != nil {
+				t.Fatalf("register storm: %v", err)
+			}
+			stormID = sreg.ID
+			ackedStormRows.Store(1)
+		} else {
+			// === The durability contract, checked on every boot. ===
+			info, err := cl.Dataset(ctx, verifiedID)
+			if err != nil {
+				t.Fatalf("cycle %d: recovered dataset missing: %v\nchild stderr:\n%s", cycle, err, ch.stderr.String())
+			}
+			if info.Rows < ackedV {
+				t.Fatalf("cycle %d: ACKED APPEND LOST: recovered %d rows, %d were acknowledged", cycle, info.Rows, ackedV)
+			}
+			if info.Rows > sentV {
+				t.Fatalf("cycle %d: recovered %d rows but only %d were ever sent", cycle, info.Rows, sentV)
+			}
+			// Byte-identical recovery: fingerprint chain and discovered
+			// cover both match a from-scratch computation over the exact
+			// acknowledged prefix.
+			if want := vFingerprint(info.Rows); info.Fingerprint != want {
+				t.Fatalf("cycle %d: recovered fingerprint %s, want %s for %d rows", cycle, info.Fingerprint, want, info.Rows)
+			}
+			disc, err := cl.Discover(ctx, wire.DiscoverRequest{Dataset: verifiedID})
+			if err != nil {
+				t.Fatalf("cycle %d: discover on recovered dataset: %v", cycle, err)
+			}
+			want := vCover(t, info.Rows)
+			if len(disc.FDs) != len(want) {
+				t.Fatalf("cycle %d: recovered cover %v, want %v", cycle, disc.FDs, want)
+			}
+			for i := range want {
+				if disc.FDs[i] != want[i] {
+					t.Fatalf("cycle %d: recovered cover %v, want %v", cycle, disc.FDs, want)
+				}
+			}
+			// The verified prefix becomes the new baseline: rows beyond
+			// the last ack that survived (in-flight at the kill) are part
+			// of the dataset now.
+			ackedV, sentV = info.Rows, info.Rows
+			sinfo, err := cl.Dataset(ctx, stormID)
+			if err != nil {
+				t.Fatalf("cycle %d: storm dataset missing: %v", cycle, err)
+			}
+			if int64(sinfo.Rows) < ackedStormRows.Load() {
+				t.Fatalf("cycle %d: storm dataset lost acked rows: %d < %d", cycle, sinfo.Rows, ackedStormRows.Load())
+			}
+			ackedStormRows.Store(int64(sinfo.Rows))
+		}
+
+		// === Append storm: one sequential verified writer, several ===
+		// === concurrent storm writers, then SIGKILL mid-flight.     ===
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scl := ch.stormClient()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				next := sentV // single writer: no lock needed vs itself
+				sentV = next + 1
+				resp, err := scl.Append(ctx, verifiedID, [][]string{vRow(next)})
+				if err != nil || resp.Appended != 1 {
+					return // killed (or refused): nothing acked
+				}
+				ackedV = next + 1
+				if resp.Fingerprint != vFingerprint(ackedV) {
+					t.Errorf("live append fingerprint diverged at row %d", ackedV)
+					return
+				}
+			}
+		}()
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				scl := ch.stormClient()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rows := [][]string{
+						{fmt.Sprintf("w%d", w), fmt.Sprintf("i%d", i%5), "s"},
+						{fmt.Sprintf("w%d", w), fmt.Sprintf("j%d", i%3), "s"},
+					}
+					if resp, err := scl.Append(ctx, stormID, rows); err == nil {
+						// Monotone watermark: Rows in the response is the
+						// post-commit count, already durable.
+						for {
+							cur := ackedStormRows.Load()
+							if int64(resp.Rows) <= cur || ackedStormRows.CompareAndSwap(cur, int64(resp.Rows)) {
+								break
+							}
+						}
+					} else {
+						return
+					}
+				}
+			}(w)
+		}
+
+		// Let the storm run, then pull the plug mid-append.
+		time.Sleep(time.Duration(20+rng.Intn(60)) * time.Millisecond)
+		ch.kill()
+		close(stop)
+		wg.Wait()
+	}
+
+	// One final boot to verify the last cycle's kill too.
+	ch := startChild(t, dataDir, scratch, n)
+	defer ch.kill()
+	cl := ch.client()
+	info, err := cl.Dataset(context.Background(), verifiedID)
+	if err != nil {
+		t.Fatalf("final boot: %v", err)
+	}
+	if info.Rows < ackedV || info.Fingerprint != vFingerprint(info.Rows) {
+		t.Fatalf("final boot: rows=%d (acked %d) fp=%s", info.Rows, ackedV, info.Fingerprint)
+	}
+	t.Logf("torture: %d kill-9 cycles, verified dataset at %d rows, storm dataset durable watermark %d",
+		n, info.Rows, ackedStormRows.Load())
+}
+
+// TestQuarantineKeepsServingAfterCrash corrupts one dataset's WAL
+// mid-log between kill and restart: the reboot must quarantine exactly
+// that dataset, keep the other one serving with full fidelity, and
+// accept new writes.
+func TestQuarantineKeepsServingAfterCrash(t *testing.T) {
+	dataDir := t.TempDir()
+	scratch := t.TempDir()
+
+	ch := startChild(t, dataDir, scratch, 0)
+	cl := ch.client()
+	ctx := context.Background()
+	reg, err := cl.Register(ctx, "torture/healthy", vCSV(vInitRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := cl.Register(ctx, "torture/victim", []byte("p,q\n1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two appends so the victim's WAL has a record with more log after it.
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Append(ctx, victim.ID, [][]string{{"3", "4"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch.kill()
+
+	walPath := filepath.Join(dataDir, "datasets", victim.ID, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/4] ^= 0x20 // mid-log, not the torn tail
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ch2 := startChild(t, dataDir, scratch, 1)
+	defer ch2.kill()
+	cl2 := ch2.client()
+	if _, err := cl2.Dataset(ctx, victim.ID); err == nil {
+		t.Fatal("corrupted dataset served after restart")
+	}
+	info, err := cl2.Dataset(ctx, reg.ID)
+	if err != nil {
+		t.Fatalf("healthy dataset missing after neighbour quarantine: %v", err)
+	}
+	if info.Fingerprint != vFingerprint(vInitRows) {
+		t.Fatal("healthy dataset fingerprint drifted")
+	}
+	st, err := cl2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Durable == nil || st.Durable.Quarantined != 1 || len(st.Durable.QuarantinedSets) != 1 {
+		t.Fatalf("durable stats %+v", st.Durable)
+	}
+	if q := st.Durable.QuarantinedSets[0]; q.ID != victim.ID || q.Reason == "" {
+		t.Fatalf("quarantine entry %+v", q)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "quarantine", victim.ID, "REASON.json")); err != nil {
+		t.Fatalf("REASON.json: %v", err)
+	}
+	if _, err := cl2.Append(ctx, reg.ID, [][]string{vRow(vInitRows)}); err != nil {
+		t.Fatalf("append after quarantine boot: %v", err)
+	}
+}

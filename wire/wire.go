@@ -157,6 +157,34 @@ type PstoreStats struct {
 	PeakBytes  int64 `json:"peak_bytes"`
 }
 
+// DurableStats reports the durability layer: WAL and snapshot activity
+// since boot plus what recovery found on disk. Present only when the
+// server runs with a data directory.
+type DurableStats struct {
+	Datasets       int   `json:"datasets"`
+	AppendRecords  int64 `json:"append_records"`
+	Syncs          int64 `json:"syncs"`
+	BatchedRecords int64 `json:"batched_records"`
+	Snapshots      int64 `json:"snapshots"`
+	CompactErrors  int64 `json:"compact_errors"`
+	WALBytes       int64 `json:"wal_bytes"`
+	Recovered      int   `json:"recovered"`
+	ReplayedRecords int64 `json:"replayed_records"`
+	TruncatedTails int64 `json:"truncated_tails"`
+	Quarantined    int   `json:"quarantined"`
+	Broken         int   `json:"broken"`
+	// QuarantinedSets lists the datasets recovery set aside at the last
+	// boot, with the structured reason written to their REASON.json.
+	QuarantinedSets []QuarantinedDataset `json:"quarantined_sets,omitempty"`
+}
+
+// QuarantinedDataset is one dataset recovery refused to serve.
+type QuarantinedDataset struct {
+	ID     string `json:"id"`
+	Reason string `json:"reason"`
+	Path   string `json:"path"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	UptimeMS    float64        `json:"uptime_ms"`
@@ -166,6 +194,7 @@ type StatsResponse struct {
 	Cache       CacheStats     `json:"cache"`
 	Discoveries DiscoveryStats `json:"discoveries"`
 	Pstore      PstoreStats    `json:"pstore"`
+	Durable     *DurableStats  `json:"durable,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
