@@ -35,6 +35,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 2*time.Hour, "per-algorithm-run cutoff producing '*' cells, as in the paper")
 		seed       = flag.Uint64("seed", 1, "dataset seed")
 		workers    = flag.Int("workers", 0, "worker-pool width for every algorithm's parallel phases: 0 = all cores, 1 = sequential (results identical, only times change)")
+		agreeBytes = flag.Int64("max-agree-bytes", 0, "resident agree-set bytes before the Dep-Miner pipelines spill sorted runs to disk (0 = in-memory; results identical, only times change)")
+		spillDir   = flag.String("spill-dir", "", "directory for spilled agree-set runs (empty = system temp dir)")
 		csvOut     = flag.String("csv", "", "also append raw cell measurements as CSV to this file")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -47,7 +49,11 @@ func main() {
 		if err != nil {
 			return err
 		}
-		err = run(ctx, *experiment, *full, *timeout, *seed, *workers, *csvOut, *quiet)
+		err = run(ctx, *experiment, *full, *timeout, *seed, runKnobs{
+			workers:       *workers,
+			maxAgreeBytes: *agreeBytes,
+			spillDir:      *spillDir,
+		}, *csvOut, *quiet)
 		// Profiles must be finalised before the process exits, and written
 		// even when the run fails — a governed overrun is exactly when a
 		// profile is wanted.
@@ -125,7 +131,21 @@ func startProfiles(o profileOpts) (func() error, error) {
 	return stopAll, nil
 }
 
-func run(ctx context.Context, id string, full bool, timeout time.Duration, seed uint64, workers int, csvOut string, quiet bool) error {
+// runKnobs are the performance knobs threaded into every grid config;
+// none of them changes results, only times.
+type runKnobs struct {
+	workers       int
+	maxAgreeBytes int64
+	spillDir      string
+}
+
+func (k runKnobs) apply(cfg *bench.Config) {
+	cfg.Workers = k.workers
+	cfg.MaxAgreeBytes = k.maxAgreeBytes
+	cfg.SpillDir = k.spillDir
+}
+
+func run(ctx context.Context, id string, full bool, timeout time.Duration, seed uint64, knobs runKnobs, csvOut string, quiet bool) error {
 	if id == "list" {
 		for _, e := range bench.Experiments {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
@@ -165,7 +185,7 @@ func run(ctx context.Context, id string, full bool, timeout time.Duration, seed 
 
 	for _, e := range selected {
 		cfg := bench.ConfigFor(e, full, timeout, seed)
-		cfg.Workers = workers
+		knobs.apply(&cfg)
 		if !quiet {
 			cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
 		}
@@ -178,7 +198,7 @@ func run(ctx context.Context, id string, full bool, timeout time.Duration, seed 
 		} else if !ok {
 			// Run the widest grid (table layout) so figures can reuse it.
 			tableCfg := bench.ConfigFor(bench.Experiment{Correlation: e.Correlation, Kind: "table"}, full, timeout, seed)
-			tableCfg.Workers = workers
+			knobs.apply(&tableCfg)
 			tableCfg.Progress = cfg.Progress
 			fmt.Fprintf(os.Stderr, "running grid c=%.0f%% (%d×%d cells)...\n",
 				e.Correlation*100, len(tableCfg.RowCounts), len(tableCfg.AttrCounts))

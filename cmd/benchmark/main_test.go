@@ -32,7 +32,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunList(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(context.Background(), "list", false, time.Minute, 1, 0, "", true)
+		return run(context.Background(), "list", false, time.Minute, 1, runKnobs{}, "", true)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +46,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run(context.Background(), "tableX", false, time.Minute, 1, 0, "", true)
+		return run(context.Background(), "tableX", false, time.Minute, 1, runKnobs{}, "", true)
 	}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
@@ -88,7 +88,7 @@ func TestProfileFlags(t *testing.T) {
 	}
 	// A real unit of work so the profiles have something to say.
 	if _, err := capture(t, func() error {
-		return run(context.Background(), "list", false, time.Minute, 1, 0, "", true)
+		return run(context.Background(), "list", false, time.Minute, 1, runKnobs{}, "", true)
 	}); err != nil {
 		stop()
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestRunTinyExperimentEndToEnd(t *testing.T) {
 	}
 	csvPath := filepath.Join(t.TempDir(), "cells.csv")
 	out, err := capture(t, func() error {
-		return run(context.Background(), "table3", false, 30*time.Second, 1, 0, csvPath, true)
+		return run(context.Background(), "table3", false, 30*time.Second, 1, runKnobs{}, csvPath, true)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -12,7 +12,7 @@ import (
 
 func TestRunWritesFile(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "data.csv")
-	if err := run(context.Background(), 4, 50, 0.5, 7, out); err != nil {
+	if err := run(context.Background(), 4, 50, 0.5, 7, out, false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -36,10 +36,10 @@ func TestRunDeterministic(t *testing.T) {
 	dir := t.TempDir()
 	p1 := filepath.Join(dir, "1.csv")
 	p2 := filepath.Join(dir, "2.csv")
-	if err := run(context.Background(), 3, 20, 0.3, 9, p1); err != nil {
+	if err := run(context.Background(), 3, 20, 0.3, 9, p1, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), 3, 20, 0.3, 9, p2); err != nil {
+	if err := run(context.Background(), 3, 20, 0.3, 9, p2, false); err != nil {
 		t.Fatal(err)
 	}
 	b1, _ := os.ReadFile(p1)
@@ -49,14 +49,33 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunStreamMatchesInMemory pins the -stream contract at the CLI
+// level: both modes write byte-identical files.
+func TestRunStreamMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	mem := filepath.Join(dir, "mem.csv")
+	str := filepath.Join(dir, "stream.csv")
+	if err := run(context.Background(), 6, 200, 0.3, 5, mem, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), 6, 200, 0.3, 5, str, true); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(mem)
+	b2, _ := os.ReadFile(str)
+	if len(b1) == 0 || string(b1) != string(b2) {
+		t.Errorf("-stream output differs from in-memory mode (%d vs %d bytes)", len(b1), len(b2))
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), -1, 10, 0, 1, ""); err == nil {
+	if err := run(context.Background(), -1, 10, 0, 1, "", false); err == nil {
 		t.Error("negative attrs accepted")
 	}
-	if err := run(context.Background(), 2, 10, 2.0, 1, ""); err == nil {
+	if err := run(context.Background(), 2, 10, 2.0, 1, "", false); err == nil {
 		t.Error("correlation > 1 accepted")
 	}
-	if err := run(context.Background(), 2, 10, 0, 1, filepath.Join(t.TempDir(), "no", "such", "dir", "f.csv")); err == nil {
+	if err := run(context.Background(), 2, 10, 0, 1, filepath.Join(t.TempDir(), "no", "such", "dir", "f.csv"), false); err == nil {
 		t.Error("unwritable path accepted")
 	}
 }
@@ -68,7 +87,7 @@ func TestRunStdout(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	errRun := run(context.Background(), 2, 3, 0, 1, "")
+	errRun := run(context.Background(), 2, 3, 0, 1, "", false)
 	w.Close()
 	os.Stdout = old
 	if errRun != nil {

@@ -58,6 +58,8 @@ func main() {
 	flag.IntVar(&cfg.server.MaxDatasets, "max-datasets", 64, "cap on registered datasets")
 	flag.IntVar(&cfg.server.CacheEntries, "cache-entries", 128, "cap on result-cache entries (LRU)")
 	flag.IntVar(&cfg.server.Workers, "workers", 0, "default worker-pool width for discoveries (0 = all cores)")
+	flag.Int64Var(&cfg.server.MaxAgreeBytes, "max-agree-bytes", 0, "cap (and default) for resident agree-set bytes per discovery; past it sorted runs spill to disk (0 = in-memory)")
+	flag.StringVar(&cfg.server.SpillDir, "spill-dir", "", "directory for spilled agree-set runs (empty = system temp dir)")
 	flag.StringVar(&cfg.server.DataDir, "data-dir", "", "data directory for durable datasets (WAL + snapshots, recovered on boot); empty = memory-only")
 	fsync := flag.Bool("fsync", true, "fsync every acknowledged write (durable mode only); false trades crash-durability of the latest appends for speed")
 	flag.IntVar(&cfg.server.SnapshotEvery, "snapshot-every", 0, "WAL records per dataset before background compaction into a snapshot (0 = default 256, negative = never)")

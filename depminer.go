@@ -34,6 +34,7 @@ import (
 	"repro/internal/attrset"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/durable"
 	"repro/internal/fastfds"
 	"repro/internal/fd"
 	"repro/internal/guard"
@@ -201,6 +202,14 @@ func Generate(spec GenerateSpec) (*Relation, error) {
 	return datagen.Generate(spec)
 }
 
+// GenerateCSV streams the relation Generate would produce directly to w
+// as CSV, holding one row in memory — byte-identical to Generate followed
+// by Relation.WriteCSV, at O(|R|) memory for any |r|. This is how
+// multi-gigabyte out-of-core fixtures are produced.
+func GenerateCSV(ctx context.Context, spec GenerateSpec, w io.Writer) error {
+	return datagen.Stream(ctx, spec, w)
+}
+
 // PlantedSpec describes a synthetic relation with known embedded FDs, for
 // recall testing and demos: each planted X → A makes column A a
 // deterministic function of the X columns.
@@ -339,4 +348,25 @@ func StreamCSV(r io.Reader, header bool) (*StreamedDatabase, error) {
 // database.
 func DiscoverStreamed(ctx context.Context, db *StreamedDatabase, opts Options) (*Result, error) {
 	return core.DiscoverFromDatabase(ctx, db.DB, opts)
+}
+
+// DiscoverFromSnapshot runs FD discovery (steps 1–4) directly off a
+// durable DMSNAP1 snapshot file: columns are streamed one at a time into
+// stripped partitions, so the relation is never materialised — combined
+// with Options.MaxAgreeBytes this is the fully out-of-core path. It
+// returns the attribute names alongside the result, since no Relation is
+// available to carry them. Armstrong construction is unavailable (cell
+// values are not retained) as on the other streamed paths.
+func DiscoverFromSnapshot(ctx context.Context, path string, opts Options) (*Result, []string, error) {
+	sr, err := durable.OpenSnapshotStream(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sr.Close()
+	db, err := partition.NewDatabaseFromSource(sr)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.DiscoverFromDatabase(ctx, db, opts)
+	return res, append([]string(nil), sr.Names()...), err
 }

@@ -47,6 +47,7 @@ import (
 	"slices"
 
 	"repro/internal/attrset"
+	"repro/internal/extsort"
 	"repro/internal/faultinject"
 	"repro/internal/guard"
 	"repro/internal/partition"
@@ -89,6 +90,10 @@ type Result struct {
 	// Chunks is the number of chunk passes performed (couples algorithm;
 	// 1 otherwise).
 	Chunks int
+	// Spill counts the out-of-core activity when Options.MaxAgreeBytes
+	// made the accumulators spill sorted runs to disk; all-zero for
+	// in-memory runs.
+	Spill extsort.Stats
 }
 
 // Naive computes ag(r) by comparing every couple of distinct tuples
@@ -112,7 +117,9 @@ func Naive(ctx context.Context, r *relation.Relation) (*Result, error) {
 				batch = append(batch, s)
 			}
 		}
-		acc.absorb(batch)
+		if err := acc.absorb(batch); err != nil {
+			return nil, err
+		}
 	}
 	res.Sets = attrset.Family(acc.sorted)
 	res.Sets.Sort()
@@ -137,6 +144,19 @@ type Options struct {
 	// a deadline checkpoint. On overrun the partial Result accumulated so
 	// far is returned together with the guard error. nil = ungoverned.
 	Budget *guard.Budget
+	// MaxAgreeBytes bounds the agree sets accumulated in memory: when the
+	// per-worker accumulation exceeds MaxAgreeBytes/Workers, the sorted
+	// run is spilled to a checksummed file in SpillDir and the final merge
+	// becomes a streaming k-way merge over disk and memory (see
+	// internal/extsort). Spilled bytes are charged to Budget under the
+	// "extsort" phase. The emitted family is byte-identical for every
+	// threshold — spilling trades I/O for memory, never results. 0 means
+	// never spill.
+	MaxAgreeBytes int64
+	// SpillDir is where spill run files go ("" = the OS temp dir). A
+	// per-computation subdirectory is created on first spill and removed
+	// when the computation finishes.
+	SpillDir string
 }
 
 func (o Options) chunkSize() int {
@@ -181,40 +201,47 @@ func generateCouples(mc [][]int) []uint64 {
 // Compare's eight popcounts; only the final deduplicated family (far
 // smaller than the batches) is re-sorted canonically, by mergeAccums or
 // the caller. Merges across workers are order-insensitive.
+//
+// With a spiller attached, a run that grows past limit bytes is flushed
+// to disk and the in-memory accumulation restarts empty; the spilled
+// runs rejoin at mergeAccums' k-way merge. Spill boundaries cannot
+// change the emitted family — the merge is the same dedup union wherever
+// its inputs live.
 type setAccum struct {
 	sorted []attrset.Set // deduplicated accumulation, raw word order
 	merged []attrset.Set // scratch buffer the merge writes into
+	sp     *extsort.Spiller
+	limit  int64 // spill threshold in bytes; only read when sp != nil
 }
 
-// rawCompare orders sets by their backing words. Zero iff the sets are
+// rawCompare orders sets by their backing words — extsort.Compare, the
+// run order shared with the on-disk spill files. Zero iff the sets are
 // equal, so compact/merge dedup is exact; the order itself carries no
 // meaning and never reaches callers.
-func rawCompare(a, b attrset.Set) int {
-	for w := 0; w < attrset.Words; w++ {
-		if a[w] != b[w] {
-			if a[w] < b[w] {
-				return -1
-			}
-			return 1
-		}
-	}
-	return 0
-}
+func rawCompare(a, b attrset.Set) int { return extsort.Compare(a, b) }
 
-// absorb folds an unsorted batch (modified in place) into the run.
-func (ac *setAccum) absorb(batch []attrset.Set) {
+// absorb folds an unsorted batch (modified in place) into the run,
+// spilling the run to disk when it outgrows the configured threshold.
+func (ac *setAccum) absorb(batch []attrset.Set) error {
 	if len(batch) == 0 {
-		return
+		return nil
 	}
 	slices.SortFunc(batch, rawCompare)
 	batch = slices.Compact(batch)
 	merged := mergeSets(ac.merged[:0], ac.sorted, batch)
 	ac.merged = ac.sorted[:0] // the old run becomes the next scratch
 	ac.sorted = merged
+	if ac.sp != nil && int64(len(ac.sorted))*extsort.SetBytes >= ac.limit {
+		if err := ac.sp.Spill(ac.sorted); err != nil {
+			return err
+		}
+		ac.sorted = ac.sorted[:0]
+	}
+	return nil
 }
 
-// mergeSets merges two sorted deduplicated runs into dst (which must be
-// empty and must not alias a or b). Equal elements are emitted once.
+// mergeSets merges two sorted deduplicated runs, appending to dst (which
+// must not alias a or b). Equal elements are emitted once.
 func mergeSets(dst, a, b []attrset.Set) []attrset.Set {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -236,34 +263,92 @@ func mergeSets(dst, a, b []attrset.Set) []attrset.Set {
 	return dst
 }
 
-// mergeAccums folds per-worker sorted runs into one deduplicated family
-// and sorts it canonically — the k-way merge replacing the former map
-// union, plus the one canonical sort of the run's final (small) size.
-// Merging is order-insensitive, so the result does not depend on how
-// couples were distributed across workers.
-func mergeAccums(locals []*workerState) attrset.Family {
+// mergeAccums folds per-worker sorted runs — plus any runs the workers
+// spilled to disk — into one deduplicated family and sorts it
+// canonically. Merging is order-insensitive, so the result depends
+// neither on how couples were distributed across workers nor on where
+// spill boundaries fell: the family is byte-identical to the all-in-RAM
+// path for every threshold and worker count.
+func mergeAccums(locals []*workerState, sp *extsort.Spiller) (attrset.Family, error) {
 	runs := make([][]attrset.Set, 0, len(locals))
+	total := 0
 	for _, w := range locals {
 		if len(w.accum.sorted) > 0 {
 			runs = append(runs, w.accum.sorted)
+			total += len(w.accum.sorted)
 		}
 	}
-	if len(runs) == 0 {
-		return attrset.Family{}
-	}
-	// Balanced pairwise merging: k-1 two-way merges over sorted runs.
-	for len(runs) > 1 {
-		next := runs[:0]
-		for i := 0; i+1 < len(runs); i += 2 {
-			next = append(next, mergeSets(nil, runs[i], runs[i+1]))
+	if sp != nil && sp.Runs() > 0 {
+		// Streaming k-way merge over disk readers and in-memory runs. The
+		// capacity estimate counts cross-run duplicates once each, so it
+		// can overshoot; clip before the canonical sort.
+		out := make(attrset.Family, 0, total+int(sp.Stats().SpilledSets))
+		err := sp.Merge(runs, func(s attrset.Set) error {
+			out = append(out, s)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		if len(runs)%2 == 1 {
-			next = append(next, runs[len(runs)-1])
-		}
-		runs = next
+		out = attrset.Family(slices.Clip(out))
+		out.Sort()
+		return out, nil
 	}
-	out := attrset.Family(slices.Clip(runs[0]))
+	out := attrset.Family(mergeRuns(runs))
+	if out == nil {
+		out = attrset.Family{}
+	}
 	out.Sort()
+	return out, nil
+}
+
+// mergeRuns folds sorted deduplicated runs into one via balanced pairwise
+// merging (k-1 two-way merges). Rounds ping-pong between two
+// total-capacity scratch buffers — round N's outputs are slices of one
+// buffer, round N+1 writes the other — so the whole fold costs a
+// constant five allocations regardless of k or round count. An odd
+// leftover run is copied into the round's buffer rather than carried by
+// reference: a leftover pointing into buffer A would otherwise be read
+// two rounds later while buffer A is being rewritten.
+func mergeRuns(runs [][]attrset.Set) []attrset.Set {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return slices.Clip(runs[0])
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	half := (len(runs) + 1) / 2
+	bufs := [2][]attrset.Set{
+		make([]attrset.Set, 0, total),
+		make([]attrset.Set, 0, total),
+	}
+	hdrs := [2][][]attrset.Set{
+		make([][]attrset.Set, 0, half),
+		make([][]attrset.Set, 0, half),
+	}
+	cur := runs
+	for round := 0; len(cur) > 1; round++ {
+		dst := bufs[round&1][:0]
+		next := hdrs[round&1][:0]
+		for i := 0; i+1 < len(cur); i += 2 {
+			start := len(dst)
+			dst = mergeSets(dst, cur[i], cur[i+1])
+			next = append(next, dst[start:len(dst):len(dst)])
+		}
+		if len(cur)%2 == 1 {
+			start := len(dst)
+			dst = append(dst, cur[len(cur)-1]...)
+			next = append(next, dst[start:len(dst):len(dst)])
+		}
+		cur = next
+	}
+	// Exact-size copy so the family does not pin a total-capacity buffer.
+	out := make([]attrset.Set, len(cur[0]))
+	copy(out, cur[0])
 	return out
 }
 
@@ -304,10 +389,13 @@ func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result
 	}
 
 	workers := pool.Resolve(opts.Workers)
-	locals := make([]*workerState, workers)
-	for w := range locals {
-		locals[w] = &workerState{}
-	}
+	locals, sp := makeWorkers(workers, opts)
+	defer func() {
+		if sp != nil {
+			res.Spill = sp.Stats()
+			sp.Close()
+		}
+	}()
 	full := attrset.Universe(db.Arity())
 	err := pool.Run(ctx, workers, nChunks, func(_ context.Context, w, t int) error {
 		if err := faultinject.Fire(faultinject.AgreeChunk); err != nil {
@@ -319,18 +407,42 @@ func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result
 		start := t * chunk
 		end := min(start+chunk, len(couples))
 		ws := locals[w]
-		ws.accum.absorb(processChunk(db, couples[start:end], full, ws))
-		return nil
+		return ws.accum.absorb(processChunk(db, couples[start:end], full, ws))
 	})
 	if err != nil {
-		return governedPartial(res, locals, err, "couples scan")
+		return governedPartial(res, locals, sp, err, "couples scan")
 	}
-	res.Sets = mergeAccums(locals)
-	res.Sets = addEmptyIfUncovered(db, len(couples), res.Sets)
+	sets, err := mergeAccums(locals, sp)
+	if err != nil {
+		return nil, fmt.Errorf("agree: merging couples-scan runs: %w", err)
+	}
+	res.Sets = addEmptyIfUncovered(db, len(couples), sets)
 	if err := opts.Budget.Charge("agree", len(res.Sets)); err != nil {
 		return res, err
 	}
 	return res, nil
+}
+
+// makeWorkers builds the per-worker accumulators, attaching a spiller
+// with a per-worker byte threshold when Options.MaxAgreeBytes asks for
+// out-of-core accumulation. The per-worker share is clamped up to one
+// record, so even a degenerate threshold spills whole records rather
+// than nothing.
+func makeWorkers(workers int, opts Options) ([]*workerState, *extsort.Spiller) {
+	locals := make([]*workerState, workers)
+	for w := range locals {
+		locals[w] = &workerState{}
+	}
+	if opts.MaxAgreeBytes <= 0 {
+		return locals, nil
+	}
+	sp := extsort.NewSpiller(opts.SpillDir, opts.Budget)
+	perWorker := max(opts.MaxAgreeBytes/int64(workers), extsort.SetBytes)
+	for _, ws := range locals {
+		ws.accum.sp = sp
+		ws.accum.limit = perWorker
+	}
+	return locals, sp
 }
 
 // governedPartial classifies a sweep failure: governed outcomes (budget,
@@ -339,11 +451,19 @@ func Couples(ctx context.Context, db *partition.Database, opts Options) (*Result
 // returns, so the locals are safe to merge — while cancellations and
 // ordinary errors discard the result as before. The empty-set completion
 // is skipped on the partial path: it is only meaningful for a full sweep.
-func governedPartial(res *Result, locals []*workerState, err error, what string) (*Result, error) {
+// When merging the partial runs itself fails (a damaged spill file, say),
+// the partial is returned with no family at all — never a silently
+// truncated one.
+func governedPartial(res *Result, locals []*workerState, sp *extsort.Spiller, err error, what string) (*Result, error) {
 	if !guard.Governed(err) {
 		return nil, fmt.Errorf("agree: %s cancelled: %w", what, err)
 	}
-	res.Sets = mergeAccums(locals)
+	sets, merr := mergeAccums(locals, sp)
+	if merr != nil {
+		res.Sets = nil
+		return res, err
+	}
+	res.Sets = sets
 	return res, err
 }
 
@@ -480,10 +600,13 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 	}
 
 	workers := pool.Resolve(opts.Workers)
-	locals := make([]*workerState, workers)
-	for w := range locals {
-		locals[w] = &workerState{}
-	}
+	locals, sp := makeWorkers(workers, opts)
+	defer func() {
+		if sp != nil {
+			res.Spill = sp.Stats()
+			sp.Close()
+		}
+	}()
 	full := attrset.Universe(db.Arity())
 	tasks := (len(couples) + identifierStride - 1) / identifierStride
 	err := pool.Run(ctx, workers, tasks, func(taskCtx context.Context, w, t int) error {
@@ -527,14 +650,16 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 			}
 		}
 		ws.batch = batch
-		ws.accum.absorb(batch)
-		return nil
+		return ws.accum.absorb(batch)
 	})
 	if err != nil {
-		return governedPartial(res, locals, err, "identifier scan")
+		return governedPartial(res, locals, sp, err, "identifier scan")
 	}
-	res.Sets = mergeAccums(locals)
-	res.Sets = addEmptyIfUncovered(db, len(couples), res.Sets)
+	sets, err := mergeAccums(locals, sp)
+	if err != nil {
+		return nil, fmt.Errorf("agree: merging identifier-scan runs: %w", err)
+	}
+	res.Sets = addEmptyIfUncovered(db, len(couples), sets)
 	if err := opts.Budget.Charge("agree", len(res.Sets)); err != nil {
 		return res, err
 	}

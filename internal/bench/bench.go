@@ -48,6 +48,12 @@ type Config struct {
 	// (0 = all cores, 1 = sequential). Results are identical for every
 	// value; only the times change.
 	Workers int
+	// MaxAgreeBytes caps resident agree-set bytes for the Dep-Miner
+	// pipelines; past it sorted runs spill to SpillDir. 0 = in-memory.
+	// Results are identical for every value; only times change.
+	MaxAgreeBytes int64
+	// SpillDir is where agree-set runs spill; empty = system temp dir.
+	SpillDir string
 	// Seed feeds the deterministic generator.
 	Seed uint64
 	// Progress, when non-nil, receives one line per completed cell.
@@ -146,9 +152,11 @@ func RunCell(ctx context.Context, cfg Config, rows, attrs int) (*Cell, error) {
 
 	cell.Seconds[0] = runOne(func(runCtx context.Context) (int, int, error) {
 		res, err := core.Discover(runCtx, r, core.Options{
-			Algorithm: core.AgreeCouples,
-			Armstrong: core.ArmstrongNone,
-			Workers:   cfg.Workers,
+			Algorithm:     core.AgreeCouples,
+			Armstrong:     core.ArmstrongNone,
+			Workers:       cfg.Workers,
+			MaxAgreeBytes: cfg.MaxAgreeBytes,
+			SpillDir:      cfg.SpillDir,
 		})
 		if err != nil {
 			return 0, -1, err
@@ -157,9 +165,11 @@ func RunCell(ctx context.Context, cfg Config, rows, attrs int) (*Cell, error) {
 	})
 	cell.Seconds[1] = runOne(func(runCtx context.Context) (int, int, error) {
 		res, err := core.Discover(runCtx, r, core.Options{
-			Algorithm: core.AgreeIdentifiers,
-			Armstrong: core.ArmstrongNone,
-			Workers:   cfg.Workers,
+			Algorithm:     core.AgreeIdentifiers,
+			Armstrong:     core.ArmstrongNone,
+			Workers:       cfg.Workers,
+			MaxAgreeBytes: cfg.MaxAgreeBytes,
+			SpillDir:      cfg.SpillDir,
 		})
 		if err != nil {
 			return 0, -1, err

@@ -26,6 +26,7 @@ import (
 	"repro/internal/agree"
 	"repro/internal/armstrong"
 	"repro/internal/attrset"
+	"repro/internal/extsort"
 	"repro/internal/faultinject"
 	"repro/internal/fd"
 	"repro/internal/guard"
@@ -114,6 +115,14 @@ type Options struct {
 	// phase name, together with the partial Result accumulated so far
 	// (Result.Partial = true). nil means ungoverned.
 	Budget *guard.Budget
+	// MaxAgreeBytes bounds the agree sets held in memory during step 1:
+	// beyond it, per-worker sorted runs spill to checksummed files and the
+	// final dedup becomes a streaming k-way merge (internal/extsort). The
+	// cover is byte-identical for every threshold; Result.Stats.Spill
+	// reports the traffic. 0 means never spill.
+	MaxAgreeBytes int64
+	// SpillDir is where agree-set spill files go ("" = the OS temp dir).
+	SpillDir string
 }
 
 // ErrInvalidOptions is wrapped by every Options validation failure, so
@@ -135,6 +144,9 @@ func (o Options) Validate() error {
 	}
 	if o.MaxCouples < 0 {
 		return fmt.Errorf("%w: negative MaxCouples %d", ErrInvalidOptions, o.MaxCouples)
+	}
+	if o.MaxAgreeBytes < 0 {
+		return fmt.Errorf("%w: negative MaxAgreeBytes %d", ErrInvalidOptions, o.MaxAgreeBytes)
 	}
 	switch o.Algorithm {
 	case AgreeCouples, AgreeIdentifiers, AgreeNaive:
@@ -184,6 +196,10 @@ type Stats struct {
 	MaxSets   PhaseStat // step 2
 	LHS       PhaseStat // steps 3–4
 	Armstrong PhaseStat // step 5
+	// Spill counts step 1's out-of-core traffic (runs spilled, bytes
+	// written, blocks read back) when Options.MaxAgreeBytes is set;
+	// all-zero for in-memory runs.
+	Spill extsort.Stats
 }
 
 // phaseProbe captures the start-of-phase clock and allocation counters.
@@ -393,6 +409,7 @@ func adoptAgree(res *Result, agr *agree.Result) {
 	res.AgreeSets = agr.Sets
 	res.Couples = agr.Couples
 	res.Chunks = agr.Chunks
+	res.Stats.Spill = agr.Spill
 }
 
 // agreeSets runs step 1 on the stripped partition database, degrading
@@ -403,7 +420,13 @@ func agreeSets(ctx context.Context, db *partition.Database, opts Options, res *R
 	if ferr := faultinject.Fire(faultinject.CoreAgree); ferr != nil {
 		return nil, ferr
 	}
-	aopts := agree.Options{ChunkSize: opts.ChunkSize, Workers: opts.Workers, Budget: opts.Budget}
+	aopts := agree.Options{
+		ChunkSize:     opts.ChunkSize,
+		Workers:       opts.Workers,
+		Budget:        opts.Budget,
+		MaxAgreeBytes: opts.MaxAgreeBytes,
+		SpillDir:      opts.SpillDir,
+	}
 	if opts.Algorithm == AgreeIdentifiers {
 		return agree.Identifiers(ctx, db, aopts)
 	}

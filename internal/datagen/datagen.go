@@ -16,7 +16,11 @@
 package datagen
 
 import (
+	"context"
+	"encoding/csv"
 	"fmt"
+	"io"
+	"strconv"
 
 	"repro/internal/attrset"
 	"repro/internal/relation"
@@ -94,6 +98,51 @@ func Generate(spec Spec) (*relation.Relation, error) {
 		cols[a] = col
 	}
 	return relation.FromCodes(names, cols)
+}
+
+// Stream writes the relation Generate would produce directly to w as
+// CSV, holding one row in memory — the fixture path for out-of-core
+// tests, where the CSV can be gigabytes while the generator stays O(|R|).
+// The output is byte-identical to Generate followed by
+// relation.WriteCSV: the same per-column SplitMix64 streams are drawn
+// row-major (one value per column per row), and the CSV values are the
+// raw draws rendered in decimal, exactly as relation.FromCodes
+// dictionaries render sparse codes. The context is checked periodically
+// so multi-GB generations cancel promptly.
+func Stream(ctx context.Context, spec Spec, w io.Writer) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	names := make([]string, spec.Attrs)
+	rngs := make([]*splitMix64, spec.Attrs)
+	for a := range names {
+		names[a] = columnName(a)
+		rngs[a] = newSplitMix64(spec.Seed ^ mix(uint64(a)+1))
+	}
+	dom := uint64(spec.DomainSize())
+	cw := csv.NewWriter(w)
+	if err := cw.Write(names); err != nil {
+		return fmt.Errorf("datagen: streaming csv: %w", err)
+	}
+	row := make([]string, spec.Attrs)
+	for t := 0; t < spec.Rows; t++ {
+		if t&0x3FF == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("datagen: streaming cancelled: %w", err)
+			}
+		}
+		for a := range row {
+			row[a] = strconv.Itoa(int(rngs[a].next() % dom))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("datagen: streaming csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("datagen: streaming csv: %w", err)
+	}
+	return nil
 }
 
 // columnName produces spreadsheet-style names: A..Z, AA, AB, ...

@@ -1,0 +1,55 @@
+package datagen
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestStreamMatchesGenerate pins the fixture contract: the streaming
+// writer and the in-memory generator emit byte-identical CSV for the
+// same spec, so out-of-core fixtures are interchangeable with in-memory
+// ones.
+func TestStreamMatchesGenerate(t *testing.T) {
+	specs := []Spec{
+		{Attrs: 5, Rows: 300, Correlation: 0.5, Seed: 1},
+		{Attrs: 1, Rows: 50, Correlation: 0, Seed: 42},
+		{Attrs: 30, Rows: 100, Correlation: 0.3, Seed: 7},
+		{Attrs: 3, Rows: 0, Seed: 9},
+		{Attrs: 0, Rows: 0},
+	}
+	for _, spec := range specs {
+		r, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		var want bytes.Buffer
+		if err := r.WriteCSV(&want); err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		var got bytes.Buffer
+		if err := Stream(context.Background(), spec, &got); err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("%v: streamed CSV differs from Generate+WriteCSV (%d vs %d bytes)",
+				spec, got.Len(), want.Len())
+		}
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := Stream(ctx, Spec{Attrs: 2, Rows: 100000}, &buf); err == nil {
+		t.Fatal("cancelled stream completed")
+	}
+}
+
+func TestStreamRejectsBadSpec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Stream(context.Background(), Spec{Attrs: -1}, &buf); err == nil {
+		t.Fatal("invalid spec streamed")
+	}
+}

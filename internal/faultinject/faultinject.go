@@ -38,6 +38,9 @@ const (
 	FastFDsAttr     = "fastfds/attr"     // before each per-attribute DFS
 	PstoreEvict     = "pstore/evict"     // before each partition-store eviction
 	PstoreRecompute = "pstore/recompute" // before each partition recompute on a store miss
+	ExtsortFlush    = "extsort/flush"    // before each sorted run is flushed to a spill file
+	ExtsortRead     = "extsort/read"     // before each checksummed block read back from a spill file
+	ExtsortMerge    = "extsort/merge"    // at the start of the external k-way merge
 )
 
 // Storage and session hook points: the durable WAL/snapshot layer and the
@@ -60,6 +63,7 @@ func Points() []string {
 		PoolTask, AgreeChunk, AgreeStride, HypergraphLevel,
 		TANELevel, KeysLevel, INDLevel, FastFDsAttr,
 		PstoreEvict, PstoreRecompute,
+		ExtsortFlush, ExtsortRead, ExtsortMerge,
 	}
 }
 

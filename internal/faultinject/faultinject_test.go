@@ -90,7 +90,7 @@ func TestPointsAreDistinct(t *testing.T) {
 		}
 		seen[p] = true
 	}
-	if len(seen) != 15 {
-		t.Errorf("got %d points, want 15", len(seen))
+	if len(seen) != 18 {
+		t.Errorf("got %d points, want 18", len(seen))
 	}
 }

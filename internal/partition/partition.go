@@ -47,9 +47,15 @@ type Partition struct {
 // from the relation's dictionary codes. Cost: O(|r| + |dom(A)|), with
 // exactly four allocations regardless of the number of classes.
 func Single(r *relation.Relation, a attrset.Attr) *Partition {
-	col := r.Column(a)
-	dom := r.DomainSize(a)
-	p := &Partition{NumRows: r.Rows()}
+	return SingleFromCodes(r.Rows(), r.Column(a), r.DomainSize(a))
+}
+
+// SingleFromCodes computes π̂_A from a bare dictionary-coded column: codes
+// per tuple, dense in [0, dom). It is Single without the relation — the
+// entry point for sources that stream one column at a time (the durable
+// snapshot reader) and never materialise a relation.Relation.
+func SingleFromCodes(numRows int, col []int, dom int) *Partition {
+	p := &Partition{NumRows: numRows}
 	if dom == 0 {
 		return p
 	}
@@ -376,6 +382,34 @@ func NewDatabase(r *relation.Relation) *Database {
 		db.Attr[a] = Single(r, a)
 	}
 	return db
+}
+
+// ColumnSource supplies dictionary-coded columns one at a time — the
+// out-of-core complement of relation.Relation. Column returns attribute
+// a's codes (dense in [0, domain)) plus the domain size; each call may
+// read from disk, and the returned slice is owned by the caller. The
+// durable snapshot reader satisfies this interface.
+type ColumnSource interface {
+	Arity() int
+	NumRows() int
+	Column(a int) ([]int, int, error)
+}
+
+// NewDatabaseFromSource extracts the stripped partition database from a
+// streaming column source: one column is resident at a time, and only its
+// stripped partition (typically far smaller than the column) is retained.
+// This is how a multi-gigabyte snapshot feeds discovery without ever
+// materialising the relation.
+func NewDatabaseFromSource(src ColumnSource) (*Database, error) {
+	db := &Database{Attr: make([]*Partition, src.Arity()), NumRows: src.NumRows()}
+	for a := range db.Attr {
+		col, dom, err := src.Column(a)
+		if err != nil {
+			return nil, err
+		}
+		db.Attr[a] = SingleFromCodes(db.NumRows, col, dom)
+	}
+	return db, nil
 }
 
 // Arity returns |R|.

@@ -1,0 +1,85 @@
+package pstore
+
+import (
+	"sync"
+
+	"repro/internal/guard"
+)
+
+// ByteAccount is the shared byte-accounting helper behind every layer
+// that materialises byte-sized state under a guard.Budget: the partition
+// store charges resident partitions through it, and the extsort spiller
+// charges on-disk agree-set run bytes the same way. It separates the two
+// quantities guard-governed storage needs to track:
+//
+//   - cumulative volume, charged to the budget (guard's monotone-counter
+//     contract: every materialisation counts, evictions never refund);
+//   - resident bytes, the current footprint, with a settled peak —
+//     callers call SettlePeak once transient overshoot (e.g. during an
+//     eviction pass) has been resolved, so the peak reflects steady
+//     states only.
+//
+// All methods are safe for concurrent use. A ByteAccount with a nil
+// budget tracks resident/peak bytes without governance (guard.Budget
+// methods are nil-safe).
+type ByteAccount struct {
+	phase  string
+	budget *guard.Budget
+
+	mu       sync.Mutex
+	resident int64
+	peak     int64
+}
+
+// NewByteAccount creates an account charging the budget under the given
+// phase name.
+func NewByteAccount(phase string, budget *guard.Budget) *ByteAccount {
+	return &ByteAccount{phase: phase, budget: budget}
+}
+
+// Charge records n bytes of cumulative volume against the budget. It
+// does not touch the resident counter — pair it with Add when the bytes
+// also become resident (a raced recompute, for example, charges volume
+// for work done but installs nothing new).
+func (a *ByteAccount) Charge(n int64) error {
+	return a.budget.Charge(a.phase, int(n))
+}
+
+// Add grows the resident footprint by n bytes.
+func (a *ByteAccount) Add(n int64) {
+	a.mu.Lock()
+	a.resident += n
+	a.mu.Unlock()
+}
+
+// Release shrinks the resident footprint by n bytes.
+func (a *ByteAccount) Release(n int64) {
+	a.mu.Lock()
+	a.resident -= n
+	a.mu.Unlock()
+}
+
+// SettlePeak records the current resident footprint as the peak if it is
+// the largest seen. Callers invoke it after any transient overshoot has
+// been evicted away, so a capped store's peak never exceeds its cap.
+func (a *ByteAccount) SettlePeak() {
+	a.mu.Lock()
+	if a.resident > a.peak {
+		a.peak = a.resident
+	}
+	a.mu.Unlock()
+}
+
+// Resident returns the current resident footprint.
+func (a *ByteAccount) Resident() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.resident
+}
+
+// Peak returns the largest settled resident footprint observed.
+func (a *ByteAccount) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}

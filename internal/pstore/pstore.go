@@ -90,8 +90,11 @@ type entry struct {
 type Store struct {
 	mu       sync.Mutex
 	capBytes int64
-	budget   *guard.Budget
-	entries  map[attrset.Set]*entry
+	// acct is the shared byte-accounting helper: budget charges for every
+	// materialisation plus resident/peak tracking (the same helper the
+	// extsort spiller charges spill bytes through).
+	acct    *ByteAccount
+	entries map[attrset.Set]*entry
 	// byLevel[l] indexes every non-root level-l entry ever installed, so
 	// Forget can find a dead level's residents without the search
 	// enumerating them. Entries stay indexed after eviction (re-scanning
@@ -113,7 +116,7 @@ type Store struct {
 func New(capBytes int64, budget *guard.Budget) *Store {
 	return &Store{
 		capBytes: capBytes,
-		budget:   budget,
+		acct:     NewByteAccount("pstore", budget),
 		entries:  map[attrset.Set]*entry{},
 		byLevel:  map[int][]*entry{},
 		lru:      map[int]*list.List{},
@@ -149,13 +152,13 @@ func (s *Store) Put(x, left, right attrset.Set, level int, p *partition.Partitio
 
 // install makes p resident for e, charging and evicting. Callers hold mu.
 func (s *Store) install(e *entry, p *partition.Partition) error {
-	if err := s.budget.Charge("pstore", int(p.Bytes())); err != nil {
+	if err := s.acct.Charge(p.Bytes()); err != nil {
 		return err
 	}
 	if e.part == nil {
 		e.part = p
 		e.bytes = p.Bytes()
-		s.stats.ResidentBytes += e.bytes
+		s.acct.Add(e.bytes)
 		if !e.indexed {
 			e.indexed = true
 			s.byLevel[e.level] = append(s.byLevel[e.level], e)
@@ -172,9 +175,7 @@ func (s *Store) install(e *entry, p *partition.Partition) error {
 	if err := s.evictOverCap(); err != nil {
 		return err
 	}
-	if s.stats.ResidentBytes > s.stats.PeakBytes {
-		s.stats.PeakBytes = s.stats.ResidentBytes
-	}
+	s.acct.SettlePeak()
 	return nil
 }
 
@@ -184,7 +185,7 @@ func (s *Store) evictOverCap() error {
 	if s.capBytes <= 0 {
 		return nil
 	}
-	for s.stats.ResidentBytes > s.capBytes {
+	for s.acct.Resident() > s.capBytes {
 		victim := s.oldest()
 		if victim == nil {
 			return nil // nothing evictable left
@@ -195,7 +196,7 @@ func (s *Store) evictOverCap() error {
 		s.lru[victim.level].Remove(victim.elem)
 		victim.elem = nil
 		victim.part = nil
-		s.stats.ResidentBytes -= victim.bytes
+		s.acct.Release(victim.bytes)
 		s.stats.Evictions++
 	}
 	return nil
@@ -292,7 +293,7 @@ func (s *Store) Forget(maxLevel int) {
 				e.elem = nil
 			}
 			e.part = nil
-			s.stats.ResidentBytes -= e.bytes
+			s.acct.Release(e.bytes)
 		}
 	}
 }
@@ -301,5 +302,8 @@ func (s *Store) Forget(maxLevel int) {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.ResidentBytes = s.acct.Resident()
+	st.PeakBytes = s.acct.Peak()
+	return st
 }

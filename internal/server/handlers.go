@@ -32,6 +32,7 @@ type (
 	CacheStats       = wire.CacheStats
 	DiscoveryStats   = wire.DiscoveryStats
 	PstoreStats      = wire.PstoreStats
+	SpillStats       = wire.SpillStats
 	StatsResponse    = wire.StatsResponse
 )
 
@@ -344,6 +345,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Recomputes: s.stats.pstore.Recomputes,
 		PeakBytes:  s.stats.pstore.PeakBytes,
 	}
+	sp := SpillStats{
+		RunsSpilled:  s.stats.spill.RunsSpilled,
+		SpilledSets:  s.stats.spill.SpilledSets,
+		SpilledBytes: s.stats.spill.SpilledBytes,
+		MergedRuns:   s.stats.spill.MergedRuns,
+		ReadBlocks:   s.stats.spill.ReadBlocks,
+	}
 	s.stats.mu.Unlock()
 	resp := StatsResponse{
 		UptimeMS:    float64(time.Since(s.started)) / float64(time.Millisecond),
@@ -353,6 +361,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:       s.cache.stats(),
 		Discoveries: disc,
 		Pstore:      ps,
+		Spill:       sp,
 	}
 	if s.store != nil {
 		st := s.store.Stats()

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/extsort"
 	"repro/internal/fastfds"
 	"repro/internal/fd"
 	"repro/internal/guard"
@@ -72,6 +73,13 @@ type Config struct {
 	// Workers is the default worker-pool width for discoveries whose
 	// request omits it: 0 = all cores.
 	Workers int
+	// MaxAgreeBytes caps (and defaults) the per-request resident
+	// agree-set bytes for depminer/depminer2; past the cap, sorted runs
+	// spill to SpillDir and are merged back streamingly. 0 leaves
+	// requests in-memory unless they ask for a cap.
+	MaxAgreeBytes int64
+	// SpillDir is where agree-set runs spill; empty = os.TempDir().
+	SpillDir string
 	// DataDir, when set, turns on durability: every registration and
 	// append is written to a per-dataset WAL and fsync'd before the
 	// server acknowledges it, snapshots fold the logs in the background,
@@ -269,6 +277,7 @@ type discoveryStats struct {
 	async   int64
 	phases  map[string]time.Duration
 	pstore  pstore.Stats
+	spill   extsort.Stats
 }
 
 func (d *discoveryStats) addPhases(st core.Stats) {
@@ -277,6 +286,14 @@ func (d *discoveryStats) addPhases(st core.Stats) {
 	d.phases["max_sets"] += st.MaxSets.Duration
 	d.phases["lhs"] += st.LHS.Duration
 	d.phases["armstrong"] += st.Armstrong.Duration
+}
+
+func (d *discoveryStats) addSpill(st extsort.Stats) {
+	d.spill.RunsSpilled += st.RunsSpilled
+	d.spill.SpilledSets += st.SpilledSets
+	d.spill.SpilledBytes += st.SpilledBytes
+	d.spill.MergedRuns += st.MergedRuns
+	d.spill.ReadBlocks += st.ReadBlocks
 }
 
 func (d *discoveryStats) addPstore(st pstore.Stats) {
@@ -296,6 +313,7 @@ type discoverParams struct {
 	maxCouples        int
 	epsilon           float64
 	maxPartitionBytes int64
+	maxAgreeBytes     int64
 	armstrong         bool
 	timeout           time.Duration
 	units             int64
@@ -322,6 +340,7 @@ func (s *Server) resolveParams(req *DiscoverRequest) (discoverParams, error) {
 		maxCouples:        req.MaxCouples,
 		epsilon:           req.Epsilon,
 		maxPartitionBytes: req.MaxPartitionBytes,
+		maxAgreeBytes:     req.MaxAgreeBytes,
 		armstrong:         req.Armstrong,
 	}
 	if p.algorithm == "" {
@@ -335,7 +354,7 @@ func (s *Server) resolveParams(req *DiscoverRequest) (discoverParams, error) {
 		sort.Strings(names)
 		return p, fmt.Errorf("unknown algorithm %q (have: %s)", req.Algorithm, strings.Join(names, ", "))
 	}
-	if p.workers < 0 || p.maxCouples < 0 || p.maxPartitionBytes < 0 || req.TimeoutMS < 0 || req.BudgetUnits < 0 {
+	if p.workers < 0 || p.maxCouples < 0 || p.maxPartitionBytes < 0 || p.maxAgreeBytes < 0 || req.TimeoutMS < 0 || req.BudgetUnits < 0 {
 		return p, fmt.Errorf("negative knobs are invalid")
 	}
 	if p.epsilon < 0 || p.epsilon >= 1 {
@@ -356,6 +375,9 @@ func (s *Server) resolveParams(req *DiscoverRequest) (discoverParams, error) {
 	p.units = req.BudgetUnits
 	if s.cfg.MaxBudgetUnits > 0 && (p.units == 0 || p.units > s.cfg.MaxBudgetUnits) {
 		p.units = s.cfg.MaxBudgetUnits
+	}
+	if s.cfg.MaxAgreeBytes > 0 && (p.maxAgreeBytes == 0 || p.maxAgreeBytes > s.cfg.MaxAgreeBytes) {
+		p.maxAgreeBytes = s.cfg.MaxAgreeBytes
 	}
 	return p, nil
 }
@@ -400,10 +422,12 @@ func (s *Server) runDiscovery(ctx context.Context, d *dataset, p discoverParams)
 	switch p.algorithm {
 	case "depminer", "depminer2":
 		opts := core.Options{
-			Workers:    p.workers,
-			MaxCouples: p.maxCouples,
-			Budget:     budget,
-			Armstrong:  core.ArmstrongNone,
+			Workers:       p.workers,
+			MaxCouples:    p.maxCouples,
+			Budget:        budget,
+			Armstrong:     core.ArmstrongNone,
+			MaxAgreeBytes: p.maxAgreeBytes,
+			SpillDir:      s.cfg.SpillDir,
 		}
 		if p.algorithm == "depminer2" {
 			opts.Algorithm = core.AgreeIdentifiers
@@ -427,8 +451,11 @@ func (s *Server) runDiscovery(ctx context.Context, d *dataset, p discoverParams)
 					resp.Armstrong[t] = arm.Row(t)
 				}
 			}
+			resp.SpilledRuns = res.Stats.Spill.RunsSpilled
+			resp.SpilledBytes = res.Stats.Spill.SpilledBytes
 			s.stats.mu.Lock()
 			s.stats.addPhases(res.Stats)
+			s.stats.addSpill(res.Stats.Spill)
 			s.stats.mu.Unlock()
 		}
 	case "fastfds":

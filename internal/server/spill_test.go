@@ -1,0 +1,80 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestSpillOverWire runs a discovery under a 1-byte agree cap so every
+// worker accumulator spills: the cover must be byte-identical to the
+// in-memory reference, the response must carry the spill counters, and
+// /v1/stats must aggregate them.
+func TestSpillOverWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxAgreeBytes: 1, SpillDir: t.TempDir()})
+	r, err := datagen.Generate(datagen.Spec{Attrs: 6, Rows: 80, Correlation: 0.4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := register(t, ts, r)
+
+	var resp DiscoverResponse
+	code := postJSON(t, ts.URL+"/v1/discover", DiscoverRequest{Dataset: reg.ID}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("discover status = %d (%s)", code, resp.Error)
+	}
+	if resp.Partial {
+		t.Fatalf("spilled discovery reported partial: %s", resp.Error)
+	}
+	if !sameCover(resp.FDs, fromScratchCover(t, r)) {
+		t.Fatalf("spilled cover differs from in-memory reference:\n%v", resp.FDs)
+	}
+	if resp.SpilledRuns == 0 || resp.SpilledBytes == 0 {
+		t.Fatalf("expected spill counters in response, got runs=%d bytes=%d",
+			resp.SpilledRuns, resp.SpilledBytes)
+	}
+
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status = %d", code)
+	}
+	if st.Spill.RunsSpilled == 0 || st.Spill.SpilledBytes == 0 || st.Spill.MergedRuns == 0 {
+		t.Fatalf("stats missing spill counters: %+v", st.Spill)
+	}
+}
+
+// TestSpillParamValidation pins the knob contract: negative caps are 400,
+// and requests are clamped under the server-wide MaxAgreeBytes exactly
+// like budget units.
+func TestSpillParamValidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxAgreeBytes: 4096})
+	r, err := datagen.Generate(datagen.Spec{Attrs: 3, Rows: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := register(t, ts, r)
+
+	code := postJSON(t, ts.URL+"/v1/discover",
+		DiscoverRequest{Dataset: reg.ID, MaxAgreeBytes: -1}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("negative max_agree_bytes: status = %d, want 400", code)
+	}
+
+	for _, tc := range []struct {
+		req  int64
+		want int64
+	}{
+		{0, 4096},       // default = server cap
+		{1 << 30, 4096}, // over cap → clamped
+		{64, 64},        // under cap → honoured
+	} {
+		p, err := s.resolveParams(&DiscoverRequest{MaxAgreeBytes: tc.req})
+		if err != nil {
+			t.Fatalf("resolveParams(%d): %v", tc.req, err)
+		}
+		if p.maxAgreeBytes != tc.want {
+			t.Fatalf("resolveParams(%d).maxAgreeBytes = %d, want %d", tc.req, p.maxAgreeBytes, tc.want)
+		}
+	}
+}

@@ -57,6 +57,12 @@ func runForPoint(t *testing.T, point string) (error, bool) {
 	case faultinject.FastFDsAttr:
 		res, err := DiscoverFastFDs(ctx, r)
 		return err, res != nil && res.Partial
+	case faultinject.ExtsortFlush, faultinject.ExtsortRead, faultinject.ExtsortMerge:
+		// A 1-byte spill threshold clamps to one record per worker, so
+		// every absorb spills and the final merge reads disk runs: all
+		// three extsort points are crossed.
+		res, err := Discover(ctx, r, Options{Workers: 2, MaxAgreeBytes: 1})
+		return err, res != nil && res.Partial
 	default:
 		res, err := Discover(ctx, r, Options{Workers: 2})
 		return err, res != nil && res.Partial
@@ -330,6 +336,7 @@ func TestOptionsValidation(t *testing.T) {
 		{Workers: -1},
 		{ChunkSize: -5},
 		{MaxCouples: -1},
+		{MaxAgreeBytes: -8},
 		{Algorithm: Algorithm(99)},
 		{Armstrong: ArmstrongMode(-2)},
 	}

@@ -57,6 +57,12 @@ type DiscoverRequest struct {
 	Epsilon float64 `json:"epsilon,omitempty"`
 	// MaxPartitionBytes caps resident partition bytes (tane only).
 	MaxPartitionBytes int64 `json:"max_partition_bytes,omitempty"`
+	// MaxAgreeBytes caps resident agree-set bytes per worker pool;
+	// accumulators past the cap spill sorted runs to disk and are merged
+	// back streamingly (depminer/depminer2 only). 0 = the server default,
+	// clamped to the server's MaxAgreeBytes. The discovered cover is
+	// byte-identical for every threshold.
+	MaxAgreeBytes int64 `json:"max_agree_bytes,omitempty"`
 	// Armstrong includes the Armstrong relation in the response
 	// (depminer/depminer2 only).
 	Armstrong bool `json:"armstrong,omitempty"`
@@ -86,6 +92,8 @@ type DiscoverResponse struct {
 	Armstrong          [][]string `json:"armstrong,omitempty"`
 	ArmstrongSynthetic bool       `json:"armstrong_synthetic,omitempty"`
 	BudgetUsed         int64      `json:"budget_used,omitempty"`
+	SpilledRuns        int64      `json:"spilled_runs,omitempty"`
+	SpilledBytes       int64      `json:"spilled_bytes,omitempty"`
 	ElapsedMS          float64    `json:"elapsed_ms"`
 }
 
@@ -157,6 +165,17 @@ type PstoreStats struct {
 	PeakBytes  int64 `json:"peak_bytes"`
 }
 
+// SpillStats is the out-of-core section of /v1/stats: external-merge
+// activity of the agree-set phase, aggregated over every discovery the
+// process served.
+type SpillStats struct {
+	RunsSpilled  int64 `json:"runs_spilled"`
+	SpilledSets  int64 `json:"spilled_sets"`
+	SpilledBytes int64 `json:"spilled_bytes"`
+	MergedRuns   int64 `json:"merged_runs"`
+	ReadBlocks   int64 `json:"read_blocks"`
+}
+
 // DurableStats reports the durability layer: WAL and snapshot activity
 // since boot plus what recovery found on disk. Present only when the
 // server runs with a data directory.
@@ -194,6 +213,7 @@ type StatsResponse struct {
 	Cache       CacheStats     `json:"cache"`
 	Discoveries DiscoveryStats `json:"discoveries"`
 	Pstore      PstoreStats    `json:"pstore"`
+	Spill       SpillStats     `json:"spill"`
 	Durable     *DurableStats  `json:"durable,omitempty"`
 }
 
