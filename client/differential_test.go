@@ -1,12 +1,18 @@
-package client
+// An external test package: internal/server imports repro/client for
+// shard dispatch, so a live-server differential test of the client must
+// sit outside the package to avoid an import cycle.
+package client_test
 
 import (
 	"bytes"
 	"context"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/client"
 	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/server"
@@ -14,8 +20,8 @@ import (
 )
 
 // liveServer boots a real internal/server behind httptest and returns a
-// client for it.
-func liveServer(t *testing.T, cfg server.Config, opts ...Option) *Client {
+// client for it plus the listener (for raw-HTTP assertions).
+func liveServer(t *testing.T, cfg server.Config, opts ...client.Option) (*client.Client, *httptest.Server) {
 	t.Helper()
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -23,7 +29,7 @@ func liveServer(t *testing.T, cfg server.Config, opts ...Option) *Client {
 	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return New(ts.URL, opts...)
+	return client.New(ts.URL, opts...), ts
 }
 
 // fromScratchCover runs the reference pipeline directly and renders the
@@ -59,7 +65,7 @@ func sameCover(t *testing.T, label string, got, want []string) {
 // rows — across the sync path, the forced-async job path, and the
 // incremental re-derivation.
 func TestClientDifferentialCover(t *testing.T) {
-	c := liveServer(t, server.Config{})
+	c, _ := liveServer(t, server.Config{})
 	ctx := context.Background()
 
 	base := relation.PaperExample()
@@ -165,7 +171,7 @@ func TestClientDifferentialCover(t *testing.T) {
 // server answers 202 to a plain Discover; the client must poll the job
 // to completion behind the single blocking call.
 func TestClientFollowsAsyncTransparently(t *testing.T) {
-	c := liveServer(t, server.Config{SyncRowLimit: 1}, WithPollInterval(5*time.Millisecond))
+	c, _ := liveServer(t, server.Config{SyncRowLimit: 1}, client.WithPollInterval(5*time.Millisecond))
 	ctx := context.Background()
 
 	base := relation.PaperExample()
@@ -185,25 +191,17 @@ func TestClientFollowsAsyncTransparently(t *testing.T) {
 }
 
 // TestDiscoverRejectsUnknownFields: the server strict-decodes discover
-// requests, so a misspelled knob is a 400 through the SDK's eyes too.
+// requests, so a misspelled knob is a 400 over the same wire the SDK
+// uses (the SDK itself cannot emit one — its requests are typed).
 func TestDiscoverRejectsUnknownFields(t *testing.T) {
-	c := liveServer(t, server.Config{})
-	ctx := context.Background()
-	_, raw, err := c.do(ctx, "POST", "/v1/discover", "application/json",
-		[]byte(`{"dataset":"ds-x","budgetunits":5}`), false)
-	if err == nil {
-		t.Fatalf("unknown field accepted: %s", raw)
+	_, ts := liveServer(t, server.Config{})
+	resp, err := http.Post(ts.URL+"/v1/discover", "application/json",
+		strings.NewReader(`{"dataset":"ds-x","budgetunits":5}`))
+	if err != nil {
+		t.Fatal(err)
 	}
-	var apiErr *APIError
-	if !asAPIError(err, &apiErr) || apiErr.StatusCode != 400 {
-		t.Fatalf("err = %v, want 400", err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
 	}
-}
-
-func asAPIError(err error, out **APIError) bool {
-	e, ok := err.(*APIError)
-	if ok {
-		*out = e
-	}
-	return ok
 }

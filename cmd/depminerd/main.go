@@ -32,6 +32,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cli"
@@ -63,8 +64,30 @@ func main() {
 	flag.StringVar(&cfg.server.DataDir, "data-dir", "", "data directory for durable datasets (WAL + snapshots, recovered on boot); empty = memory-only")
 	fsync := flag.Bool("fsync", true, "fsync every acknowledged write (durable mode only); false trades crash-durability of the latest appends for speed")
 	flag.IntVar(&cfg.server.SnapshotEvery, "snapshot-every", 0, "WAL records per dataset before background compaction into a snapshot (0 = default 256, negative = never)")
+	workerEndpoints := flag.String("workers-endpoints", "", "comma-separated worker depminerd base URLs; non-empty makes this server a shard coordinator for depminer/depminer2 discoveries")
+	shardRole := flag.String("shard-role", "", "optional role sanity check: \"coordinator\" requires -workers-endpoints, \"worker\" forbids it (empty = no check)")
+	flag.IntVar(&cfg.server.DefaultShards, "shards", 0, "default shard count for coordinated discoveries (0 = one shard per worker endpoint)")
 	flag.Parse()
 	cfg.server.DisableFsync = !*fsync
+	if *workerEndpoints != "" {
+		cfg.server.WorkerEndpoints = strings.Split(*workerEndpoints, ",")
+	}
+	switch *shardRole {
+	case "":
+	case "coordinator":
+		if len(cfg.server.WorkerEndpoints) == 0 {
+			fmt.Fprintln(os.Stderr, "depminerd: -shard-role coordinator requires -workers-endpoints")
+			os.Exit(2)
+		}
+	case "worker":
+		if len(cfg.server.WorkerEndpoints) != 0 {
+			fmt.Fprintln(os.Stderr, "depminerd: -shard-role worker must not set -workers-endpoints")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "depminerd: unknown -shard-role %q (coordinator or worker)\n", *shardRole)
+		os.Exit(2)
+	}
 
 	cli.Main("depminerd", func(ctx context.Context) error {
 		return run(ctx, cfg, func(addr string) {

@@ -21,6 +21,12 @@
 //	        its cache entries; never retried — appends aren't idempotent)
 //	inc     incremental re-derivation on the append dataset, racing the
 //	        appends that keep invalidating it
+//	shard   depminer discover on the append dataset: on a coordinator
+//	        this fans the agree-set phase out across the worker fleet
+//	        (the appends keep changing the fingerprint, so workers see
+//	        404 → dataset push → recompute, and a saturated or full
+//	        worker degrades to the coordinator's local fallback); on a
+//	        single-node server it is a plain cold depminer discover
 //
 // Outcomes are the saturation contract's three classes plus a catch-all:
 // ok (complete result), partial (guard-governed 200), rejected (429 after
@@ -184,15 +190,20 @@ type mixEntry struct {
 	weight int
 }
 
-var knownOps = map[string]bool{"hit": true, "cold": true, "append": true, "inc": true, "async": true}
+var knownOps = map[string]bool{"hit": true, "cold": true, "append": true, "inc": true, "async": true, "shard": true}
 
 // mixPresets are named mixes accepted wherever a weighted list is:
 // append-heavy is the durability benchmark — appends dominate so the WAL
 // group-commit path (syncs vs batched_records in the report's durable
 // server stats) carries the load, with just enough discovery traffic to
 // keep the cache-invalidation race honest.
+// The shard preset drives a coordinator: sharded discoveries dominate,
+// appends keep the fingerprint moving so the fan-out genuinely
+// recomputes (and re-pushes) instead of hitting the result cache, and
+// the hit traffic keeps the cached path honest alongside.
 var mixPresets = map[string]string{
 	"append-heavy": "append=8,inc=1,hit=1",
+	"shard":        "shard=5,append=2,hit=1",
 }
 
 // parseMix parses "hit=4,cold=2,append=1" into weighted entries; a
@@ -217,7 +228,7 @@ func parseMix(s string) ([]mixEntry, error) {
 			weight = n
 		}
 		if !knownOps[op] {
-			return nil, fmt.Errorf("unknown op %q (have hit, cold, append, inc, async)", op)
+			return nil, fmt.Errorf("unknown op %q (have hit, cold, append, inc, async, shard)", op)
 		}
 		if weight > 0 {
 			out = append(out, mixEntry{op, weight})
@@ -253,7 +264,7 @@ func run(ctx context.Context, cfg config) (*report, error) {
 	needAppend := false
 	for _, m := range mix {
 		total += m.weight
-		if m.op == "append" || m.op == "inc" {
+		if m.op == "append" || m.op == "inc" || m.op == "shard" {
 			needAppend = true
 		}
 	}
@@ -376,6 +387,11 @@ func execute(ctx context.Context, c *client.Client, op, static, appendID string,
 		_, err = c.Append(ctx, appendID, [][]string{row})
 	case "inc":
 		_, err = c.Discover(ctx, wire.DiscoverRequest{Dataset: appendID, Algorithm: "incremental"})
+	case "shard":
+		// Shards is left 0 — a coordinator fans out over its default
+		// topology, a single-node server just runs depminer — so the
+		// preset is usable against both.
+		_, err = c.Discover(ctx, wire.DiscoverRequest{Dataset: appendID, Algorithm: "depminer"})
 	}
 	switch {
 	case err == nil:
@@ -445,7 +461,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "depminerd base URL")
 	flag.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers (each runs one request at a time)")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to generate load")
-	flag.StringVar(&cfg.mix, "mix", "hit=4,cold=2,append=1,inc=1,async=1", "weighted operation mix (op=weight,...) or a preset name (append-heavy)")
+	flag.StringVar(&cfg.mix, "mix", "hit=4,cold=2,append=1,inc=1,async=1", "weighted operation mix (op=weight,...) or a preset name (append-heavy, shard)")
 	flag.IntVar(&cfg.rows, "rows", 200, "rows in the generated datasets")
 	flag.IntVar(&cfg.attrs, "attrs", 6, "attributes in the generated datasets")
 	flag.Int64Var(&cfg.seed, "seed", 1, "deterministic dataset and mix-draw seed")

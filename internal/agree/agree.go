@@ -562,36 +562,7 @@ const identifierStride = 1 << 13
 // per-worker sorted runs merged in canonical order (deterministic output
 // for any worker count).
 func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Result, error) {
-	// ec[t] lists, in increasing attribute order, the (attribute, class
-	// id) pairs for which t lies in some class of π̂_A, encoded a<<32|id
-	// in one flat arena sliced per tuple. Intersecting two tuples' lists
-	// by attribute and comparing class ids implements (A,i) ∈ ec(t) ∩
-	// ec(t'). The arena is laid out by a counting pass, so building it
-	// costs three allocations regardless of |r| or |R|.
-	ecOff := make([]int32, db.NumRows+1)
-	for _, p := range db.Attr {
-		for ci, nc := 0, p.NumClasses(); ci < nc; ci++ {
-			for _, t := range p.Class(ci) {
-				ecOff[t+1]++
-			}
-		}
-	}
-	for t := 0; t < db.NumRows; t++ {
-		ecOff[t+1] += ecOff[t]
-	}
-	ec := make([]uint64, ecOff[db.NumRows])
-	cursor := make([]int32, db.NumRows)
-	for a, p := range db.Attr {
-		for ci, nc := 0, p.NumClasses(); ci < nc; ci++ {
-			for _, t := range p.Class(ci) {
-				// Attributes are visited in increasing order, so each
-				// tuple's list is built sorted by attribute.
-				ec[ecOff[t]+cursor[t]] = uint64(a)<<32 | uint64(uint32(ci))
-				cursor[t]++
-			}
-		}
-	}
-
+	ecOff, ec := buildECIndex(db)
 	mc := db.MaximalClasses()
 	couples := generateCouples(mc)
 	res := &Result{Chunks: 1, Couples: len(couples)}
@@ -619,37 +590,11 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 		start := t * identifierStride
 		end := min(start+identifierStride, len(couples))
 		ws := locals[w]
-		batch := ws.batch[:0]
-		for i, cp := range couples[start:end] {
-			if i&0xFFF == 0 {
-				if err := taskCtx.Err(); err != nil {
-					return err
-				}
-			}
-			var s attrset.Set
-			et := ec[ecOff[coupleT(cp)]:ecOff[coupleT(cp)+1]]
-			eu := ec[ecOff[coupleU(cp)]:ecOff[coupleU(cp)+1]]
-			x, y := 0, 0
-			for x < len(et) && y < len(eu) {
-				at, au := et[x]>>32, eu[y]>>32
-				switch {
-				case at < au:
-					x++
-				case at > au:
-					y++
-				default:
-					if uint32(et[x]) == uint32(eu[y]) {
-						s.Add(int(at))
-					}
-					x++
-					y++
-				}
-			}
-			if s != full {
-				batch = append(batch, s)
-			}
-		}
+		batch, err := intersectStride(taskCtx, ec, ecOff, couples[start:end], full, ws.batch[:0])
 		ws.batch = batch
+		if err != nil {
+			return err
+		}
 		return ws.accum.absorb(batch)
 	})
 	if err != nil {
@@ -664,6 +609,75 @@ func Identifiers(ctx context.Context, db *partition.Database, opts Options) (*Re
 		return res, err
 	}
 	return res, nil
+}
+
+// buildECIndex lays out, per tuple t, the list ec(t) of (attribute, class
+// id) pairs for which t lies in some class of π̂_A, encoded a<<32|id in
+// one flat arena sliced per tuple by ecOff. Intersecting two tuples'
+// lists by attribute and comparing class ids implements (A,i) ∈ ec(t) ∩
+// ec(t'). The arena is laid out by a counting pass, so building it costs
+// three allocations regardless of |r| or |R|.
+func buildECIndex(db *partition.Database) (ecOff []int32, ec []uint64) {
+	ecOff = make([]int32, db.NumRows+1)
+	for _, p := range db.Attr {
+		for ci, nc := 0, p.NumClasses(); ci < nc; ci++ {
+			for _, t := range p.Class(ci) {
+				ecOff[t+1]++
+			}
+		}
+	}
+	for t := 0; t < db.NumRows; t++ {
+		ecOff[t+1] += ecOff[t]
+	}
+	ec = make([]uint64, ecOff[db.NumRows])
+	cursor := make([]int32, db.NumRows)
+	for a, p := range db.Attr {
+		for ci, nc := 0, p.NumClasses(); ci < nc; ci++ {
+			for _, t := range p.Class(ci) {
+				// Attributes are visited in increasing order, so each
+				// tuple's list is built sorted by attribute.
+				ec[ecOff[t]+cursor[t]] = uint64(a)<<32 | uint64(uint32(ci))
+				cursor[t]++
+			}
+		}
+	}
+	return ecOff, ec
+}
+
+// intersectStride runs the Lemma 2 intersection for one stride of
+// couples, appending each non-full agree set to batch. It checks the
+// task context every 4096 couples to keep cancellation latency low.
+func intersectStride(taskCtx context.Context, ec []uint64, ecOff []int32, couples []uint64, full attrset.Set, batch []attrset.Set) ([]attrset.Set, error) {
+	for i, cp := range couples {
+		if i&0xFFF == 0 {
+			if err := taskCtx.Err(); err != nil {
+				return batch, err
+			}
+		}
+		var s attrset.Set
+		et := ec[ecOff[coupleT(cp)]:ecOff[coupleT(cp)+1]]
+		eu := ec[ecOff[coupleU(cp)]:ecOff[coupleU(cp)+1]]
+		x, y := 0, 0
+		for x < len(et) && y < len(eu) {
+			at, au := et[x]>>32, eu[y]>>32
+			switch {
+			case at < au:
+				x++
+			case at > au:
+				y++
+			default:
+				if uint32(et[x]) == uint32(eu[y]) {
+					s.Add(int(at))
+				}
+				x++
+				y++
+			}
+		}
+		if s != full {
+			batch = append(batch, s)
+		}
+	}
+	return batch, nil
 }
 
 // FromRelation is a convenience: builds the stripped partition database and

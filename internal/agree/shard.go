@@ -1,0 +1,227 @@
+// Shard computation: the agree-set sweep over an explicit couple range,
+// the unit a distributed discovery dispatches to workers.
+//
+// A Plan pins the shardable state both sides must agree on: the couple
+// list is generated once (sorted, deduplicated — generateCouples), so a
+// [Start,End) index range names the same couples on every node that
+// computes it from the same relation bytes; content fingerprints make
+// "same bytes" verifiable. ComputeShard sweeps only its range and emits
+// the deduplicated agree sets in raw word order (extsort.Compare) — the
+// run order — without the canonical sort or the empty-set completion,
+// which belong to whoever unions the shards. Finish applies exactly that
+// tail once over the merged family.
+//
+// Byte-identity argument (the distributed analogue of the spill
+// contract): the shards are contiguous ranges of one globally sorted
+// deduplicated couple list, so their union examines exactly the couples
+// the single-node sweep examines, each once; every shard's output is a
+// sorted deduplicated run; the k-way dedup merge of sorted runs is
+// insensitive to how its inputs were partitioned; and the one canonical
+// sort plus empty-set completion then run once, identically. Where shard
+// boundaries fall can therefore never change the merged family — and
+// hence never the cover.
+package agree
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/attrset"
+	"repro/internal/extsort"
+	"repro/internal/faultinject"
+	"repro/internal/partition"
+	"repro/internal/pool"
+)
+
+// Variant selects which sweep a shard runs: Algorithm 2 (couples) or
+// Algorithm 3 (identifiers). Every shard of one discovery must use the
+// same variant — the coordinator decides degradation globally, from the
+// total couple count, so the choice cannot diverge per shard.
+type Variant int
+
+const (
+	VariantCouples Variant = iota
+	VariantIdentifiers
+)
+
+// Shard is a half-open couple index range [Start, End) into the plan's
+// couple list.
+type Shard struct {
+	Start, End int
+}
+
+// Plan is the shared frame of one sharded agree-set computation: the
+// stripped-partition database and its globally sorted deduplicated couple
+// list. Coordinator and workers each build a Plan from the same relation
+// bytes; equality of the couple count is the cheap structural check that
+// they did. The identifier arena is built lazily, once, and shared by
+// concurrent ComputeShard calls.
+type Plan struct {
+	db      *partition.Database
+	couples []uint64
+
+	ecOnce sync.Once
+	ecOff  []int32
+	ec     []uint64
+}
+
+// NewPlan builds the couple list for db.
+func NewPlan(db *partition.Database) *Plan {
+	return &Plan{db: db, couples: generateCouples(db.MaximalClasses())}
+}
+
+// Couples returns the total couple count — the space Split partitions.
+func (p *Plan) Couples() int { return len(p.couples) }
+
+// Arity returns the schema size of the underlying database.
+func (p *Plan) Arity() int { return p.db.Arity() }
+
+// Rows returns the tuple count of the underlying database.
+func (p *Plan) Rows() int { return p.db.NumRows }
+
+// Split partitions the couple space into n contiguous near-equal shards
+// (never more shards than couples; an empty couple space yields one
+// empty shard, so the pipeline shape is uniform).
+func (p *Plan) Split(n int) []Shard {
+	total := len(p.couples)
+	if n < 1 {
+		n = 1
+	}
+	if total == 0 {
+		return []Shard{{0, 0}}
+	}
+	if n > total {
+		n = total
+	}
+	shards := make([]Shard, 0, n)
+	for i := 0; i < n; i++ {
+		shards = append(shards, Shard{Start: i * total / n, End: (i + 1) * total / n})
+	}
+	return shards
+}
+
+func (p *Plan) ecIndex() ([]int32, []uint64) {
+	p.ecOnce.Do(func() {
+		p.ecOff, p.ec = buildECIndex(p.db)
+	})
+	return p.ecOff, p.ec
+}
+
+// ShardResult reports one shard computation.
+type ShardResult struct {
+	// Sets is the number of agree sets emitted.
+	Sets int64
+	// Spill counts the shard's own out-of-core activity (all-zero when the
+	// shard's accumulation stayed in memory).
+	Spill extsort.Stats
+}
+
+// ComputeShard sweeps the couples in sh and emits the shard's
+// deduplicated agree sets in raw run order (strictly increasing
+// extsort.Compare), sequentially from one goroutine. No canonical sort,
+// no empty-set completion — see Finish.
+//
+// Budget contract: ComputeShard does not charge the couple count — the
+// caller charges it (the coordinator once for the whole space, a worker
+// per request), keeping governed totals identical to single-node runs.
+// opts.Budget still governs the sweep's deadline checkpoints and any
+// spill bytes.
+//
+// Errors: a sweep or spill failure is returned before anything is
+// emitted, so stream producers can still send a clean error. Only a
+// failure during the final merge read-back (or from emit itself) can
+// surface after emission started.
+func (p *Plan) ComputeShard(ctx context.Context, sh Shard, v Variant, opts Options, emit func(attrset.Set) error) (*ShardResult, error) {
+	if sh.Start < 0 || sh.End < sh.Start || sh.End > len(p.couples) {
+		return nil, fmt.Errorf("agree: shard [%d,%d) outside couple range [0,%d]", sh.Start, sh.End, len(p.couples))
+	}
+	sub := p.couples[sh.Start:sh.End]
+	workers := pool.Resolve(opts.Workers)
+	locals, sp := makeWorkers(workers, opts)
+	res := &ShardResult{}
+	defer func() {
+		if sp != nil {
+			res.Spill = sp.Stats()
+			sp.Close()
+		}
+	}()
+	full := attrset.Universe(p.db.Arity())
+
+	var err error
+	switch v {
+	case VariantIdentifiers:
+		ecOff, ec := p.ecIndex()
+		tasks := (len(sub) + identifierStride - 1) / identifierStride
+		err = pool.Run(ctx, workers, tasks, func(taskCtx context.Context, w, t int) error {
+			if err := faultinject.Fire(faultinject.AgreeStride); err != nil {
+				return err
+			}
+			if err := opts.Budget.Checkpoint("agree"); err != nil {
+				return err
+			}
+			start := t * identifierStride
+			end := min(start+identifierStride, len(sub))
+			ws := locals[w]
+			batch, err := intersectStride(taskCtx, ec, ecOff, sub[start:end], full, ws.batch[:0])
+			ws.batch = batch
+			if err != nil {
+				return err
+			}
+			return ws.accum.absorb(batch)
+		})
+	default:
+		chunk := opts.chunkSize()
+		tasks := (len(sub) + chunk - 1) / chunk
+		err = pool.Run(ctx, workers, tasks, func(_ context.Context, w, t int) error {
+			if err := faultinject.Fire(faultinject.AgreeChunk); err != nil {
+				return err
+			}
+			if err := opts.Budget.Checkpoint("agree"); err != nil {
+				return err
+			}
+			start := t * chunk
+			end := min(start+chunk, len(sub))
+			ws := locals[w]
+			return ws.accum.absorb(processChunk(p.db, sub[start:end], full, ws))
+		})
+	}
+	if err != nil {
+		return res, fmt.Errorf("agree: shard [%d,%d) sweep: %w", sh.Start, sh.End, err)
+	}
+
+	counted := func(s attrset.Set) error {
+		res.Sets++
+		return emit(s)
+	}
+	runs := make([][]attrset.Set, 0, len(locals))
+	for _, w := range locals {
+		if len(w.accum.sorted) > 0 {
+			runs = append(runs, w.accum.sorted)
+		}
+	}
+	if sp != nil && sp.Runs() > 0 {
+		if err := sp.Merge(runs, counted); err != nil {
+			return res, fmt.Errorf("agree: shard [%d,%d) merge: %w", sh.Start, sh.End, err)
+		}
+		return res, nil
+	}
+	for _, s := range mergeRuns(runs) {
+		if err := counted(s); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// Finish turns the raw-order union of the shards' emitted runs into the
+// final ag(r): the one canonical sort plus the empty-set completion —
+// exactly the tail of the single-node computation, applied once by
+// whoever merged the shards.
+func (p *Plan) Finish(sets attrset.Family) attrset.Family {
+	if sets == nil {
+		sets = attrset.Family{}
+	}
+	sets.Sort()
+	return addEmptyIfUncovered(p.db, len(p.couples), sets)
+}

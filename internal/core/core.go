@@ -385,6 +385,56 @@ func DiscoverFromDatabase(ctx context.Context, db *partition.Database, opts Opti
 	return res, nil
 }
 
+// DiscoverFromAgreeSets runs steps 2–5 of the pipeline on an externally
+// computed (complete, canonical) ag(r) — the coordinator's tail of a
+// sharded discovery, after the workers' runs have been merged and
+// finished. r supplies the values for the Armstrong relation and may be
+// nil when opts.Armstrong is ArmstrongNone. The agree-set counters in
+// res (Couples, Chunks, Spill) are left to the caller, who knows how the
+// family was actually produced.
+func DiscoverFromAgreeSets(ctx context.Context, r *relation.Relation, sets attrset.Family, arity int, opts Options) (res *Result, err error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Armstrong != ArmstrongNone && r == nil {
+		return nil, fmt.Errorf("%w: the Armstrong relation needs the original values", ErrInvalidOptions)
+	}
+	res = &Result{}
+	defer contain("core.DiscoverFromAgreeSets", res, &err)
+	if derr := deriveFDs(ctx, &agree.Result{Sets: sets, Chunks: 1}, arity, opts, res); derr != nil {
+		return fail(res, derr)
+	}
+	if opts.Armstrong != ArmstrongNone {
+		if ferr := faultinject.Fire(faultinject.CoreArmstrong); ferr != nil {
+			return fail(res, ferr)
+		}
+		if cerr := opts.Budget.Checkpoint("armstrong"); cerr != nil {
+			return fail(res, cerr)
+		}
+		pp := startPhase()
+		arm, synthetic, aerr := buildArmstrong(r, res.MaxSets, opts.Armstrong)
+		if aerr != nil {
+			return fail(res, aerr)
+		}
+		res.Armstrong = arm
+		res.ArmstrongSynthetic = synthetic
+		res.Stats.Armstrong = pp.stop()
+		res.Timings.Armstrong = res.Stats.Armstrong.Duration
+	}
+	return res, nil
+}
+
+// DegradeNote is the Notes line recorded when the couple space crosses
+// the MaxCouples threshold and the run degrades from Algorithm 2 to
+// Algorithm 3. Shared with the shard coordinator, which makes the same
+// decision globally, so sharded and single-node responses stay
+// byte-identical.
+func DegradeNote(couples, max int) string {
+	return fmt.Sprintf(
+		"agree: degraded from Dep-Miner (Algorithm 2) to Dep-Miner 2 (Algorithm 3): %d couples exceed the %d-couple threshold",
+		couples, max)
+}
+
 // DeriveFromAgreeSets runs steps 2–4 of the pipeline on externally
 // computed agree sets — used by the incremental miner, which maintains
 // ag(r) under inserts and re-derives the cover on demand. It runs the
@@ -434,9 +484,7 @@ func agreeSets(ctx context.Context, db *partition.Database, opts Options, res *R
 	agr, err := agree.Couples(ctx, db, aopts)
 	var overflow *agree.CoupleOverflowError
 	if errors.As(err, &overflow) {
-		res.Notes = append(res.Notes, fmt.Sprintf(
-			"agree: degraded from Dep-Miner (Algorithm 2) to Dep-Miner 2 (Algorithm 3): %d couples exceed the %d-couple threshold",
-			overflow.Couples, overflow.Max))
+		res.Notes = append(res.Notes, DegradeNote(overflow.Couples, overflow.Max))
 		aopts.MaxCouples = 0
 		return agree.Identifiers(ctx, db, aopts)
 	}

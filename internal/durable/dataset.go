@@ -72,6 +72,27 @@ func (y *syncer) fail(err error) {
 // ID returns the dataset's registry id (also its directory name).
 func (d *Dataset) ID() string { return d.id }
 
+// SnapshotInfo reports the dataset's snapshot path and whether the
+// snapshot alone reproduces the full acknowledged state: a snapshot file
+// exists and no append records landed after it. Such a snapshot can be
+// streamed into discovery (durable.OpenSnapshotStream) instead of
+// materialising the relation; the snapshot's embedded fingerprint lets
+// readers re-verify against the registry after opening, so a compaction
+// or append racing this check degrades to the materialised path, never
+// to stale data.
+func (d *Dataset) SnapshotInfo() (path string, complete bool) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	path = filepath.Join(d.dir, "snapshot.snap")
+	if d.tail != 0 {
+		return path, false
+	}
+	if _, err := os.Stat(path); err != nil {
+		return path, false
+	}
+	return path, true
+}
+
 // Append logs one acknowledged-to-be batch: rows were committed in
 // memory, bringing the dataset to rowsAfter total rows with content
 // fingerprint fp. The frame is written (not yet synced) and a Token is

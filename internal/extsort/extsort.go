@@ -109,11 +109,14 @@ type Spiller struct {
 	parent string
 	acct   *pstore.ByteAccount
 
-	mu     sync.Mutex
-	dir    string // created on first spill
-	files  []string
-	nextID int
-	stats  Stats
+	mu       sync.Mutex
+	dir      string // created on first spill
+	files    []string
+	memRuns  [][]attrset.Set // adopted runs small enough to stay resident
+	memBytes int64
+	nextID   int
+	closed   bool
+	stats    Stats
 }
 
 // NewSpiller creates a spiller whose run files live in a fresh temp
@@ -133,6 +136,26 @@ func runFileSize(n int) int64 {
 	return int64(len(runMagic)) + int64(blocks)*blockHeaderLen + int64(n)*SetBytes
 }
 
+// newRunFile allocates the next run-file path, creating the spill
+// directory on first use.
+func (s *Spiller) newRunFile() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		if err := os.MkdirAll(s.parent, 0o755); err != nil {
+			return "", fmt.Errorf("extsort: creating spill dir: %w", err)
+		}
+		dir, err := os.MkdirTemp(s.parent, "depminer-spill-*")
+		if err != nil {
+			return "", fmt.Errorf("extsort: creating spill dir: %w", err)
+		}
+		s.dir = dir
+	}
+	id := s.nextID
+	s.nextID++
+	return filepath.Join(s.dir, fmt.Sprintf("run-%06d.dmr", id)), nil
+}
+
 // Spill writes one sorted deduplicated run to a new run file, charging
 // its bytes to the budget first — on a budget overrun nothing is written
 // and the caller's in-memory run is untouched, so the partial-result
@@ -148,24 +171,10 @@ func (s *Spiller) Spill(run []attrset.Set) error {
 	if err := s.acct.Charge(size); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	if s.dir == "" {
-		if err := os.MkdirAll(s.parent, 0o755); err != nil {
-			s.mu.Unlock()
-			return fmt.Errorf("extsort: creating spill dir: %w", err)
-		}
-		dir, err := os.MkdirTemp(s.parent, "depminer-spill-*")
-		if err != nil {
-			s.mu.Unlock()
-			return fmt.Errorf("extsort: creating spill dir: %w", err)
-		}
-		s.dir = dir
+	path, err := s.newRunFile()
+	if err != nil {
+		return err
 	}
-	id := s.nextID
-	s.nextID++
-	path := filepath.Join(s.dir, fmt.Sprintf("run-%06d.dmr", id))
-	s.mu.Unlock()
-
 	if err := writeRun(path, run); err != nil {
 		os.Remove(path)
 		return err
@@ -190,27 +199,14 @@ func writeRun(path string, run []attrset.Set) error {
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
 	werr := func() error {
-		if _, err := bw.Write(runMagic); err != nil {
-			return err
+		rw := NewRunWriter(bw)
+		for _, set := range run {
+			if err := rw.Write(set); err != nil {
+				return err
+			}
 		}
-		payload := make([]byte, 0, maxBlockBytes)
-		var hdr [blockHeaderLen]byte
-		for start := 0; start < len(run); start += blockSets {
-			end := min(start+blockSets, len(run))
-			payload = payload[:0]
-			for _, set := range run[start:end] {
-				for w := 0; w < attrset.Words; w++ {
-					payload = binary.LittleEndian.AppendUint64(payload, set[w])
-				}
-			}
-			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-			binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
-			if _, err := bw.Write(hdr[:]); err != nil {
-				return err
-			}
-			if _, err := bw.Write(payload); err != nil {
-				return err
-			}
+		if err := rw.Close(); err != nil {
+			return err
 		}
 		return bw.Flush()
 	}()
@@ -224,11 +220,12 @@ func writeRun(path string, run []attrset.Set) error {
 	return nil
 }
 
-// Runs returns the number of run files spilled so far.
+// Runs returns the number of runs registered so far — spilled run files
+// plus adopted runs held in memory.
 func (s *Spiller) Runs() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.files)
+	return len(s.files) + len(s.memRuns)
 }
 
 // Stats returns a snapshot of the counters.
@@ -238,13 +235,19 @@ func (s *Spiller) Stats() Stats {
 	return s.stats
 }
 
-// Close removes the spill directory and releases the resident byte
-// accounting. Safe to call when nothing was ever spilled.
+// Close removes the spill directory, drops adopted in-memory runs, and
+// releases the resident byte accounting. Safe to call when nothing was
+// ever spilled; a second Close is a no-op.
 func (s *Spiller) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
 	dir := s.dir
-	released := s.stats.SpilledBytes
-	s.dir, s.files = "", nil
+	released := s.stats.SpilledBytes + s.memBytes
+	s.dir, s.files, s.memRuns, s.memBytes = "", nil, nil, 0
 	s.mu.Unlock()
 	if released > 0 {
 		s.acct.Release(released)
@@ -255,10 +258,11 @@ func (s *Spiller) Close() error {
 	return os.RemoveAll(dir)
 }
 
-// runReader streams one run file block by block, verifying each block's
-// checksum, holding one decoded block at a time.
+// runReader streams one DMRUN1 byte stream — a spill file or an adopted
+// network stream — block by block, verifying each block's checksum,
+// holding one decoded block at a time.
 type runReader struct {
-	f          *os.File
+	src        io.Closer // closed by close(); nil when the caller owns the stream
 	br         *bufio.Reader
 	buf        []attrset.Set
 	idx        int
@@ -266,17 +270,28 @@ type runReader struct {
 	readBlocks int64
 }
 
+// newRunReader wraps any reader positioned at the start of a run stream,
+// consuming and verifying the magic. name labels errors.
+func newRunReader(src io.Reader, name string) (*runReader, error) {
+	r := &runReader{br: bufio.NewReaderSize(src, 1<<16)}
+	magic := make([]byte, len(runMagic))
+	if _, err := io.ReadFull(r.br, magic); err != nil || string(magic) != string(runMagic) {
+		return nil, fmt.Errorf("extsort: %s: bad run magic", name)
+	}
+	return r, nil
+}
+
 func openRun(path string) (*runReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("extsort: opening run file: %w", err)
 	}
-	r := &runReader{f: f, br: bufio.NewReaderSize(f, 1<<16)}
-	magic := make([]byte, len(runMagic))
-	if _, err := io.ReadFull(r.br, magic); err != nil || string(magic) != string(runMagic) {
+	r, err := newRunReader(f, filepath.Base(path))
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("extsort: %s: bad run magic", filepath.Base(path))
+		return nil, err
 	}
+	r.src = f
 	return r, nil
 }
 
@@ -314,7 +329,7 @@ func (r *runReader) fill() error {
 		return fmt.Errorf("extsort: implausible run block length %d", n)
 	}
 	if cap(r.payload) < n {
-		r.payload = make([]byte, maxBlockBytes)
+		r.payload = make([]byte, n)
 	}
 	payload := r.payload[:n]
 	if _, err := io.ReadFull(r.br, payload); err != nil {
@@ -325,7 +340,7 @@ func (r *runReader) fill() error {
 	}
 	r.readBlocks++
 	if cap(r.buf) < n/SetBytes {
-		r.buf = make([]attrset.Set, 0, blockSets)
+		r.buf = make([]attrset.Set, 0, n/SetBytes)
 	}
 	for off := 0; off < n; off += SetBytes {
 		var set attrset.Set
@@ -337,7 +352,11 @@ func (r *runReader) fill() error {
 	return nil
 }
 
-func (r *runReader) close() { r.f.Close() }
+func (r *runReader) close() {
+	if r.src != nil {
+		r.src.Close()
+	}
+}
 
 // cursor is one merge input: either an in-memory sorted run or an
 // on-disk run reader, holding its current front record.
@@ -377,9 +396,10 @@ func (s *Spiller) Merge(inMem [][]attrset.Set, emit func(attrset.Set) error) err
 	}
 	s.mu.Lock()
 	files := append([]string(nil), s.files...)
+	memRuns := append([][]attrset.Set(nil), s.memRuns...)
 	s.mu.Unlock()
 
-	cursors := make([]*cursor, 0, len(files)+len(inMem))
+	cursors := make([]*cursor, 0, len(files)+len(memRuns)+len(inMem))
 	readers := make([]*runReader, 0, len(files))
 	defer func() {
 		var blocks int64
@@ -399,6 +419,11 @@ func (s *Spiller) Merge(inMem [][]attrset.Set, emit func(attrset.Set) error) err
 		}
 		readers = append(readers, r)
 		cursors = append(cursors, &cursor{rd: r})
+	}
+	for _, run := range memRuns {
+		if len(run) > 0 {
+			cursors = append(cursors, &cursor{mem: run})
+		}
 	}
 	for _, run := range inMem {
 		if len(run) > 0 {

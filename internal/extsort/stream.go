@@ -1,0 +1,298 @@
+// Run streaming: the DMRUN1 framing generalised from spill files to
+// arbitrary byte streams. A shard worker serialises its sorted agree-set
+// run straight into an HTTP response through RunWriter, and the
+// coordinator adopts the stream into its spiller with AdoptRun — after
+// which the run is indistinguishable from one it spilled itself and joins
+// the same k-way Merge. Every adopted byte is CRC-verified and
+// order-checked before it can influence a cover, and adoption charges the
+// run's guard.Budget exactly like a local spill, so a fleet cannot
+// smuggle bytes past the coordinator's governance.
+package extsort
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/attrset"
+	"repro/internal/faultinject"
+)
+
+// RunWriter frames set records into w using the run layout (magic, then
+// checksummed blocks of whole little-endian records). Records must arrive
+// sorted by Compare and deduplicated — the writer does not re-sort; it is
+// the streaming half of what writeRun does for in-memory runs. Close
+// flushes the final partial block; a run with zero records still writes
+// the magic, so an empty stream is well-formed rather than truncated.
+type RunWriter struct {
+	w       io.Writer
+	payload []byte
+	started bool
+	sets    int64
+	err     error
+}
+
+// NewRunWriter wraps w. The caller owns any buffering/flushing of w
+// itself (e.g. bufio.Writer or http.Flusher). The block buffer grows
+// with the run, so a small run (the common shard stream) never pays
+// for a full block's worth of memory.
+func NewRunWriter(w io.Writer) *RunWriter {
+	return &RunWriter{w: w}
+}
+
+// Started reports whether any bytes have reached the underlying writer —
+// HTTP handlers use it to choose between a clean error response (nothing
+// sent yet) and aborting a stream already in flight.
+func (rw *RunWriter) Started() bool { return rw.started }
+
+// Sets returns the number of records written so far.
+func (rw *RunWriter) Sets() int64 { return rw.sets }
+
+func (rw *RunWriter) fail(err error) error {
+	rw.err = fmt.Errorf("extsort: writing run stream: %w", err)
+	return rw.err
+}
+
+func (rw *RunWriter) writeMagic() error {
+	rw.started = true
+	if _, err := rw.w.Write(runMagic); err != nil {
+		return rw.fail(err)
+	}
+	return nil
+}
+
+// Write appends one record, flushing a framed block every blockSets
+// records. After an error the writer is poisoned and returns it.
+func (rw *RunWriter) Write(set attrset.Set) error {
+	if rw.err != nil {
+		return rw.err
+	}
+	if !rw.started {
+		if err := rw.writeMagic(); err != nil {
+			return err
+		}
+	}
+	for w := 0; w < attrset.Words; w++ {
+		rw.payload = binary.LittleEndian.AppendUint64(rw.payload, set[w])
+	}
+	rw.sets++
+	if len(rw.payload) >= maxBlockBytes {
+		return rw.flush()
+	}
+	return nil
+}
+
+func (rw *RunWriter) flush() error {
+	if len(rw.payload) == 0 {
+		return nil
+	}
+	var hdr [blockHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(rw.payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(rw.payload, castagnoli))
+	if _, err := rw.w.Write(hdr[:]); err != nil {
+		return rw.fail(err)
+	}
+	if _, err := rw.w.Write(rw.payload); err != nil {
+		return rw.fail(err)
+	}
+	rw.payload = rw.payload[:0]
+	return nil
+}
+
+// Close flushes the final partial block (and the magic, if no record was
+// ever written). It does not close the underlying writer.
+func (rw *RunWriter) Close() error {
+	if rw.err != nil {
+		return rw.err
+	}
+	if !rw.started {
+		if err := rw.writeMagic(); err != nil {
+			return err
+		}
+	}
+	return rw.flush()
+}
+
+// PendingRun is an adopted run awaiting end-of-stream verification: its
+// records are fully checked (magic, per-block CRC32C, strict Compare
+// order) and held either in memory or in a run file, but it joins the
+// spiller's merge set only on Commit. Discard drops it instead — used
+// when an out-of-band attestation (the worker's end-of-stream set-count
+// trailer) disagrees with what arrived. Exactly one of Commit/Discard
+// must be called, before the spiller is closed.
+type PendingRun struct {
+	sp   *Spiller
+	path string        // run file; "" when the run is memory-resident
+	mem  []attrset.Set // memory-resident records; nil when on disk
+	sets int64
+	size int64
+	done bool
+}
+
+// Sets returns the number of records in the adopted run.
+func (p *PendingRun) Sets() int64 { return p.sets }
+
+// Commit adds the run to the spiller's merge set. An empty run is
+// dropped (it could contribute nothing to the merge).
+func (p *PendingRun) Commit() {
+	if p.done {
+		return
+	}
+	p.done = true
+	if p.sets == 0 {
+		if p.path != "" {
+			os.Remove(p.path)
+		}
+		return
+	}
+	s := p.sp
+	s.mu.Lock()
+	if p.path == "" {
+		s.memRuns = append(s.memRuns, p.mem)
+		s.memBytes += p.size
+	} else {
+		s.files = append(s.files, p.path)
+		s.stats.RunsSpilled++
+		s.stats.SpilledSets += p.sets
+		s.stats.SpilledBytes += p.size
+	}
+	s.mu.Unlock()
+	s.acct.Add(p.size)
+	s.acct.SettlePeak()
+}
+
+// Discard drops the run — the file is removed, the records are
+// released. The budget charge already paid for the adopted bytes is not
+// refunded — guard charges are monotone — but the resident accounting
+// never saw the run.
+func (p *PendingRun) Discard() {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.mem = nil
+	if p.path != "" {
+		os.Remove(p.path)
+	}
+}
+
+// AdoptRun verifies an externally produced run (a worker's HTTP
+// response body) into this spiller. Every block is CRC-verified and
+// records are required to be strictly increasing in Compare order — a
+// reordered, duplicated, truncated, or bit-flipped stream is rejected
+// with an error and leaves nothing behind. Bytes are charged to the
+// budget as they are verified, before they are retained, mirroring
+// Spill's charge-before-write contract — the charge is the run's
+// framed wire size either way, so governance cannot be dodged by
+// staying resident.
+//
+// memLimit is the same knob as the agree phase's spill threshold: 0
+// keeps the whole run in memory (it joins the merge like a local
+// in-memory run, no disk round trip); a positive limit streams the run
+// to a run file once its decoded records exceed that many bytes. The
+// caller still owns (and closes) r.
+func (s *Spiller) AdoptRun(r io.Reader, memLimit int64) (*PendingRun, error) {
+	if err := faultinject.Fire(faultinject.ExtsortFlush); err != nil {
+		return nil, err
+	}
+	rr, err := newRunReader(r, "adopted run")
+	if err != nil {
+		return nil, err
+	}
+	var charged int64
+	charge := func(n int64) error {
+		if err := s.acct.Charge(n); err != nil {
+			return err
+		}
+		charged += n
+		return nil
+	}
+	var (
+		mem  []attrset.Set
+		sets int64
+		last attrset.Set
+		path string
+		f    *os.File
+		rw   *RunWriter
+	)
+	// spill migrates the run to disk: everything accumulated so far is
+	// replayed through a RunWriter and the stream continues file-bound.
+	spill := func() error {
+		p, err := s.newRunFile()
+		if err != nil {
+			return err
+		}
+		file, err := os.Create(p)
+		if err != nil {
+			return fmt.Errorf("extsort: creating adopted run file: %w", err)
+		}
+		path, f = p, file
+		rw = NewRunWriter(f)
+		for _, set := range mem {
+			if err := rw.Write(set); err != nil {
+				return err
+			}
+		}
+		mem = nil
+		return nil
+	}
+	adoptErr := func() error {
+		if err := charge(int64(len(runMagic))); err != nil {
+			return err
+		}
+		for {
+			set, ok, err := rr.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if sets > 0 && Compare(last, set) >= 0 {
+				return fmt.Errorf("extsort: adopted run not strictly sorted at record %d", sets)
+			}
+			last = set
+			need := int64(SetBytes)
+			if sets%blockSets == 0 {
+				need += blockHeaderLen
+			}
+			if err := charge(need); err != nil {
+				return err
+			}
+			sets++
+			if rw == nil && memLimit > 0 && int64(len(mem)+1)*SetBytes > memLimit {
+				if err := spill(); err != nil {
+					return err
+				}
+			}
+			if rw != nil {
+				if err := rw.Write(set); err != nil {
+					return err
+				}
+			} else {
+				mem = append(mem, set)
+			}
+		}
+		if rw != nil {
+			return rw.Close()
+		}
+		return nil
+	}()
+	if f != nil {
+		if cerr := f.Close(); adoptErr == nil && cerr != nil {
+			adoptErr = fmt.Errorf("extsort: closing adopted run file: %w", cerr)
+		}
+	}
+	if adoptErr != nil {
+		if path != "" {
+			os.Remove(path)
+		}
+		return nil, adoptErr
+	}
+	s.mu.Lock()
+	s.stats.ReadBlocks += rr.readBlocks
+	s.mu.Unlock()
+	return &PendingRun{sp: s, path: path, mem: mem, sets: sets, size: charged}, nil
+}

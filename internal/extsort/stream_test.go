@@ -1,0 +1,234 @@
+package extsort
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/attrset"
+	"repro/internal/guard"
+)
+
+// encodeRun serialises a sorted deduplicated run through RunWriter,
+// exactly as a shard worker would onto an HTTP response.
+func encodeRun(t *testing.T, run []attrset.Set) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rw := NewRunWriter(&buf)
+	for _, s := range run {
+		if err := rw.Write(s); err != nil {
+			t.Fatalf("RunWriter.Write: %v", err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatalf("RunWriter.Close: %v", err)
+	}
+	if rw.Sets() != int64(len(run)) {
+		t.Fatalf("RunWriter.Sets = %d, want %d", rw.Sets(), len(run))
+	}
+	return buf.Bytes()
+}
+
+// TestAdoptRunRoundTrip streams runs of several sizes (empty, single
+// block, multi-block) through RunWriter → AdoptRun → Commit → Merge and
+// requires the exact input back — once memory-resident (memLimit 0) and
+// once forced through a run file (memLimit 1). Adopted runs must be
+// indistinguishable from locally spilled ones either way.
+func TestAdoptRunRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, memLimit := range []int64{0, 1} {
+		for _, n := range []int{0, 1, 100, blockSets + 17} {
+			runs, want := randomRuns(t, rng, 1, n)
+			run := runs[0]
+			if n == 0 {
+				run, want = nil, nil
+			}
+			raw := encodeRun(t, run)
+
+			sp := NewSpiller(t.TempDir(), nil)
+			pr, err := sp.AdoptRun(bytes.NewReader(raw), memLimit)
+			if err != nil {
+				t.Fatalf("mem=%d n=%d AdoptRun: %v", memLimit, n, err)
+			}
+			if pr.Sets() != int64(len(run)) {
+				t.Fatalf("mem=%d n=%d adopted sets = %d, want %d", memLimit, n, pr.Sets(), len(run))
+			}
+			pr.Commit()
+			if len(run) == 0 && sp.Runs() != 0 {
+				t.Fatalf("empty run joined the merge set")
+			}
+			if memLimit == 1 && len(run) > 0 && sp.Stats().SpilledBytes == 0 {
+				t.Fatalf("n=%d forced adoption never reached disk", n)
+			}
+			got := collect(t, sp, nil)
+			if len(got) != len(want) {
+				t.Fatalf("mem=%d n=%d merged %d sets, want %d", memLimit, n, len(got), len(want))
+			}
+			for i := range got {
+				if Compare(got[i], want[i]) != 0 {
+					t.Fatalf("mem=%d n=%d merged[%d] differs", memLimit, n, i)
+				}
+			}
+			sp.Close()
+		}
+	}
+}
+
+// TestAdoptRunMergesWithLocal interleaves an adopted run with a locally
+// spilled run and an in-memory run — the coordinator's exact merge shape
+// (remote shards + local fallback shards).
+func TestAdoptRunMergesWithLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	runs, want := randomRuns(t, rng, 3, 500)
+
+	sp := NewSpiller(t.TempDir(), nil)
+	defer sp.Close()
+	pr, err := sp.AdoptRun(bytes.NewReader(encodeRun(t, runs[0])), 1)
+	if err != nil {
+		t.Fatalf("AdoptRun: %v", err)
+	}
+	pr.Commit()
+	if err := sp.Spill(runs[1]); err != nil {
+		t.Fatalf("Spill: %v", err)
+	}
+	got := collect(t, sp, [][]attrset.Set{runs[2]})
+	if len(got) != len(want) {
+		t.Fatalf("merged %d sets, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if Compare(got[i], want[i]) != 0 {
+			t.Fatalf("merged[%d] differs from union", i)
+		}
+	}
+}
+
+// TestAdoptRunRejectsBadStreams feeds AdoptRun every class of broken
+// stream: unsorted, duplicated, bit-flipped, truncated mid-block, torn
+// header, and garbage magic. Each must be rejected with an error and
+// leave no run file behind.
+func TestAdoptRunRejectsBadStreams(t *testing.T) {
+	sorted := []attrset.Set{{1, 0}, {2, 0}, {3, 0}}
+	valid := encodeRun(t, sorted)
+
+	cases := map[string][]byte{
+		"unsorted":   encodeRun(t, []attrset.Set{{2, 0}, {1, 0}}),
+		"duplicate":  encodeRun(t, []attrset.Set{{1, 0}, {1, 0}}),
+		"bad magic":  append([]byte("NOTRUN\n"), valid[len(runMagic):]...),
+		"bit flip":   flipByte(valid, len(valid)-1),
+		"torn block": valid[:len(valid)-5],
+		"torn header": append(append([]byte{}, valid...),
+			0xff, 0xff), // trailing partial header
+	}
+	for name, raw := range cases {
+		for _, memLimit := range []int64{0, 1} {
+			dir := t.TempDir()
+			sp := NewSpiller(dir, nil)
+			pr, err := sp.AdoptRun(bytes.NewReader(raw), memLimit)
+			if err == nil {
+				t.Errorf("%s mem=%d: AdoptRun accepted a broken stream (%d sets)", name, memLimit, pr.Sets())
+				pr.Discard()
+			}
+			if sp.Runs() != 0 {
+				t.Errorf("%s mem=%d: broken stream registered a run", name, memLimit)
+			}
+			assertNoRunFiles(t, name, dir)
+			sp.Close()
+		}
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0x40
+	return out
+}
+
+func assertNoRunFiles(t *testing.T, name, dir string) {
+	t.Helper()
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		sub, _ := os.ReadDir(filepath.Join(dir, e.Name()))
+		if len(sub) != 0 {
+			t.Errorf("%s: rejected stream left files behind: %v", name, sub)
+		}
+	}
+}
+
+// TestAdoptRunChargesBudget pins the governance contract: adoption
+// charges the run's framed wire size exactly like a local spill —
+// whether the run stays resident or reaches disk — and a budget overrun
+// rejects the stream before it can join a merge.
+func TestAdoptRunChargesBudget(t *testing.T) {
+	run := make([]attrset.Set, 100)
+	for i := range run {
+		run[i][0] = uint64(i)
+	}
+	raw := encodeRun(t, run)
+	want := runFileSize(len(run))
+
+	b := guard.New(guard.Limits{Units: want * 10})
+	sp := NewSpiller(t.TempDir(), b)
+	pr, err := sp.AdoptRun(bytes.NewReader(raw), 1) // force the file path
+	if err != nil {
+		t.Fatalf("AdoptRun under budget: %v", err)
+	}
+	pr.Commit()
+	if got := sp.Stats().SpilledBytes; got != want {
+		t.Fatalf("adopted SpilledBytes = %d, want %d (local-spill parity)", got, want)
+	}
+	sp.Close()
+
+	// A memory-resident adoption charges the identical wire size: staying
+	// in RAM is not a governance discount.
+	memBudget := guard.New(guard.Limits{Units: want})
+	sp = NewSpiller(t.TempDir(), memBudget)
+	pr, err = sp.AdoptRun(bytes.NewReader(raw), 0)
+	if err != nil {
+		t.Fatalf("AdoptRun in memory at exact budget: %v", err)
+	}
+	pr.Commit()
+	if sp.Runs() != 1 || sp.Stats().SpilledBytes != 0 {
+		t.Fatalf("memory adoption: runs=%d spilled=%d, want 1 resident run and no spill",
+			sp.Runs(), sp.Stats().SpilledBytes)
+	}
+	sp.Close()
+
+	for _, memLimit := range []int64{0, 1} {
+		dir := t.TempDir()
+		sp = NewSpiller(dir, guard.New(guard.Limits{Units: 16}))
+		if _, err := sp.AdoptRun(bytes.NewReader(raw), memLimit); err == nil || !guard.Governed(err) {
+			t.Fatalf("AdoptRun over budget (mem=%d): err = %v, want governed", memLimit, err)
+		}
+		if sp.Runs() != 0 {
+			t.Fatalf("over-budget adoption (mem=%d) registered a run", memLimit)
+		}
+		assertNoRunFiles(t, "over budget", dir)
+		sp.Close()
+	}
+}
+
+// TestPendingRunDiscard verifies the trailer-mismatch path: a fully
+// verified stream can still be discarded before Commit, leaving the
+// merge set untouched and nothing behind — resident or on disk.
+func TestPendingRunDiscard(t *testing.T) {
+	run := []attrset.Set{{1, 0}, {5, 0}}
+	for _, memLimit := range []int64{0, 1} {
+		dir := t.TempDir()
+		sp := NewSpiller(dir, nil)
+		pr, err := sp.AdoptRun(bytes.NewReader(encodeRun(t, run)), memLimit)
+		if err != nil {
+			t.Fatalf("mem=%d AdoptRun: %v", memLimit, err)
+		}
+		pr.Discard()
+		if sp.Runs() != 0 {
+			t.Fatalf("mem=%d: discarded run joined the merge set", memLimit)
+		}
+		assertNoRunFiles(t, "discard", dir)
+		if got := collect(t, sp, nil); len(got) != 0 {
+			t.Fatalf("mem=%d: merge after discard produced %d sets", memLimit, len(got))
+		}
+		sp.Close()
+	}
+}

@@ -55,6 +55,21 @@ const (
 	IncrementalInsert = "incremental/insert" // inside InsertCtx's candidate scan and before commit
 )
 
+// Distributed-discovery hook points: the coordinator's per-shard fan-out.
+// They fire on the serving path of a sharded discovery, so they are swept
+// by the server shard fault tests (ShardPoints), not the pipeline sweep.
+const (
+	ShardDispatch = "shard/dispatch" // before each shard is dispatched to a worker
+	ShardStream   = "shard/stream"   // before a worker's run stream is adopted
+	ShardMerge    = "shard/merge"    // before the coordinator's final k-way merge
+)
+
+// ShardPoints lists the distributed-discovery hook points, swept by the
+// coordinator fault tests.
+func ShardPoints() []string {
+	return []string{ShardDispatch, ShardStream, ShardMerge}
+}
+
 // Points lists every pipeline hook point, for tests that sweep all of
 // them through the miners.
 func Points() []string {

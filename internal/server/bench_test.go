@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/datagen"
@@ -17,8 +19,12 @@ import (
 // that a cold discovery runs a real pipeline but small enough to stay
 // under the sync threshold.
 func benchServer(b *testing.B) (*Server, *httptest.Server, string, []byte) {
+	return benchServerCfg(b, Config{})
+}
+
+func benchServerCfg(b *testing.B, cfg Config) (*Server, *httptest.Server, string, []byte) {
 	b.Helper()
-	s, err := New(Config{})
+	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -91,5 +97,47 @@ func BenchmarkServerDiscoverCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchDiscover(b, ts, body, true)
+	}
+}
+
+// BenchmarkDiscoverSharded is the distributed record behind
+// BENCH_SHARD.json. The same benchmark name measures both sides so
+// scripts/benchcmp can compare them: DEPMINER_SHARD_WORKERS unset (or
+// 0) is the single-node baseline; a positive value boots that many
+// in-process worker servers and shards every discovery across them.
+// On a single-vCPU testbed the fan-out buys no parallelism, so the
+// delta is the pure coordination overhead (dispatch, DMRUN1 streaming,
+// adoption, k-way merge) — the number the ≤10%% ns/op acceptance bound
+// applies to. The fleet is warmed once (datasets pushed, worker plan
+// caches built) before the timer starts, so the steady-state path is
+// what is measured, with the coordinator's result cache defeated every
+// iteration.
+func BenchmarkDiscoverSharded(b *testing.B) {
+	workers := 0
+	if v := os.Getenv("DEPMINER_SHARD_WORKERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			b.Fatalf("bad DEPMINER_SHARD_WORKERS %q", v)
+		}
+		workers = n
+	}
+	var cfg Config
+	for i := 0; i < workers; i++ {
+		ws, err := New(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wts := httptest.NewServer(ws)
+		b.Cleanup(wts.Close)
+		cfg.WorkerEndpoints = append(cfg.WorkerEndpoints, wts.URL)
+	}
+	s, ts, id, _ := benchServerCfg(b, cfg)
+	body := []byte(fmt.Sprintf(`{"dataset":%q,"algorithm":"depminer","shards":%d}`, id, workers))
+	benchDiscover(b, ts, body, false) // warm: push datasets, build plans
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cache.invalidateDataset(id)
+		benchDiscover(b, ts, body, false)
 	}
 }

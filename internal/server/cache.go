@@ -8,9 +8,11 @@ import (
 // cacheKey identifies one discovery outcome: the exact relation instance
 // (content fingerprint), the algorithm, and the canonical encoding of the
 // result-affecting options. Knobs that provably cannot change the cover —
-// worker counts, budgets, deadlines, partition caps (all carry the
-// byte-identical-output guarantee) — are deliberately excluded, so a
-// result computed under any of them answers every equivalent query.
+// worker counts, budgets, deadlines, partition caps, spill thresholds,
+// and shard topology (all carry the byte-identical-output guarantee) —
+// are deliberately excluded, so a result computed under any of them
+// answers every equivalent query: a sharded discovery populates the
+// entry a later single-node request hits, and vice versa.
 type cacheKey struct {
 	fingerprint string
 	algorithm   string

@@ -328,12 +328,13 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.stats.mu.Lock()
 	disc := DiscoveryStats{
-		Total:        s.stats.total,
-		Partial:      s.stats.partial,
-		Failed:       s.stats.failed,
-		Sync:         s.stats.sync,
-		Async:        s.stats.async,
-		PhaseTotalMS: make(map[string]float64, len(s.stats.phases)),
+		Total:           s.stats.total,
+		Partial:         s.stats.partial,
+		Failed:          s.stats.failed,
+		Sync:            s.stats.sync,
+		Async:           s.stats.async,
+		SnapshotStreams: s.stats.snapshotStreams,
+		PhaseTotalMS:    make(map[string]float64, len(s.stats.phases)),
 	}
 	for name, d := range s.stats.phases {
 		disc.PhaseTotalMS[name] = float64(d) / float64(time.Millisecond)
@@ -352,6 +353,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MergedRuns:   s.stats.spill.MergedRuns,
 		ReadBlocks:   s.stats.spill.ReadBlocks,
 	}
+	shc := s.stats.shard
 	s.stats.mu.Unlock()
 	resp := StatsResponse{
 		UptimeMS:    float64(time.Since(s.started)) / float64(time.Millisecond),
@@ -385,6 +387,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		resp.Durable = dur
+	}
+	if s.coord != nil || shc.active() {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		resp.Shard = &wire.ShardStats{
+			Dispatched:      shc.dispatched,
+			Remote:          shc.remote,
+			LocalFallbacks:  shc.localFallbacks,
+			DatasetsPushed:  shc.datasetsPushed,
+			ReceivedSets:    shc.receivedSets,
+			ReceivedBytes:   shc.receivedBytes,
+			DispatchTotalMS: ms(shc.dispatchTime),
+			StreamTotalMS:   ms(shc.streamTime),
+			MergeTotalMS:    ms(shc.mergeTime),
+			Served:          shc.served,
+			ServedSets:      shc.servedSets,
+			ServedErrors:    shc.servedErrors,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

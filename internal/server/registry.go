@@ -61,6 +61,13 @@ func (d *dataset) info() DatasetInfo {
 	}
 }
 
+// fingerprint returns the dataset's current content fingerprint.
+func (d *dataset) fingerprint() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fp
+}
+
 // snapshot returns the materialised relation and the fingerprint it
 // corresponds to, rebuilding only when appends happened since the last
 // call.
@@ -283,6 +290,22 @@ func (r *registry) get(id string) (*dataset, bool) {
 	defer r.mu.RUnlock()
 	d, ok := r.byID[id]
 	return d, ok
+}
+
+// findByFingerprint resolves a dataset by content fingerprint — the
+// address shard requests use, so a worker provably computes over the
+// same bytes the coordinator planned against. Linear in the registry
+// size, which is capped small (MaxDatasets).
+func (r *registry) findByFingerprint(fp string) (*dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, id := range r.ids {
+		d := r.byID[id]
+		if d.fingerprint() == fp {
+			return d, true
+		}
+	}
+	return nil, false
 }
 
 func (r *registry) list() []DatasetInfo {

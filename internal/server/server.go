@@ -92,6 +92,14 @@ type Config struct {
 	// SnapshotEvery is the WAL record count that triggers background
 	// compaction into a snapshot. 0 = default (256); negative disables.
 	SnapshotEvery int
+	// WorkerEndpoints lists depminerd worker base URLs ("host:port" or
+	// full URLs); non-empty makes this server a shard coordinator:
+	// depminer/depminer2 discoveries split their agree-set phase across
+	// the fleet (shard.go). Empty = single-node.
+	WorkerEndpoints []string
+	// DefaultShards is the shard count for coordinated discoveries whose
+	// request leaves Shards at 0. 0 = one shard per worker endpoint.
+	DefaultShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +154,12 @@ type Server struct {
 	store    *durable.Store
 	recovery *durable.Recovery
 
+	// coord is the shard fan-out state; nil unless Config.WorkerEndpoints
+	// is non-empty. plans caches shard plans this server built as a
+	// worker, keyed by content fingerprint.
+	coord *coordinator
+	plans *planCache
+
 	stats discoveryStats
 
 	// testHookJobStart, when set, runs while a discovery holds its
@@ -175,6 +189,15 @@ func New(cfg Config) (*Server, error) {
 		started:    time.Now(),
 	}
 	s.stats.phases = make(map[string]time.Duration)
+	s.plans = newPlanCache(planCacheCap)
+	if len(cfg.WorkerEndpoints) > 0 {
+		co, err := newCoordinator(cfg.WorkerEndpoints)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.coord = co
+	}
 	if cfg.DataDir != "" {
 		store, rec, err := durable.Open(durable.Options{
 			Dir:           cfg.DataDir,
@@ -210,6 +233,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
 	s.mux.HandleFunc("POST /v1/datasets/{id}/rows", s.handleAppendRows)
 	s.mux.HandleFunc("POST /v1/discover", s.handleDiscover)
+	s.mux.HandleFunc("POST /v1/shard/agree", s.handleShardAgree)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -278,6 +302,11 @@ type discoveryStats struct {
 	phases  map[string]time.Duration
 	pstore  pstore.Stats
 	spill   extsort.Stats
+	// snapshotStreams counts discoveries fed by streaming a durable
+	// snapshot instead of materialising the relation.
+	snapshotStreams int64
+	// shard aggregates distributed-discovery activity (shard.go).
+	shard shardCounters
 }
 
 func (d *discoveryStats) addPhases(st core.Stats) {
@@ -315,6 +344,7 @@ type discoverParams struct {
 	maxPartitionBytes int64
 	maxAgreeBytes     int64
 	armstrong         bool
+	shards            int
 	timeout           time.Duration
 	units             int64
 }
@@ -342,6 +372,7 @@ func (s *Server) resolveParams(req *DiscoverRequest) (discoverParams, error) {
 		maxPartitionBytes: req.MaxPartitionBytes,
 		maxAgreeBytes:     req.MaxAgreeBytes,
 		armstrong:         req.Armstrong,
+		shards:            req.Shards,
 	}
 	if p.algorithm == "" {
 		p.algorithm = "depminer"
@@ -354,7 +385,7 @@ func (s *Server) resolveParams(req *DiscoverRequest) (discoverParams, error) {
 		sort.Strings(names)
 		return p, fmt.Errorf("unknown algorithm %q (have: %s)", req.Algorithm, strings.Join(names, ", "))
 	}
-	if p.workers < 0 || p.maxCouples < 0 || p.maxPartitionBytes < 0 || p.maxAgreeBytes < 0 || req.TimeoutMS < 0 || req.BudgetUnits < 0 {
+	if p.workers < 0 || p.maxCouples < 0 || p.maxPartitionBytes < 0 || p.maxAgreeBytes < 0 || p.shards < 0 || req.TimeoutMS < 0 || req.BudgetUnits < 0 {
 		return p, fmt.Errorf("negative knobs are invalid")
 	}
 	if p.epsilon < 0 || p.epsilon >= 1 {
@@ -362,6 +393,14 @@ func (s *Server) resolveParams(req *DiscoverRequest) (discoverParams, error) {
 	}
 	if p.epsilon > 0 && p.algorithm != "tane" {
 		return p, fmt.Errorf("epsilon is a tane-only option")
+	}
+	if p.shards > 0 {
+		if s.coord == nil {
+			return p, fmt.Errorf("shards is a coordinator-only option (no worker endpoints configured)")
+		}
+		if p.algorithm != "depminer" && p.algorithm != "depminer2" {
+			return p, fmt.Errorf("shards is a depminer/depminer2-only option")
+		}
 	}
 	if p.workers == 0 {
 		p.workers = s.cfg.Workers
@@ -383,9 +422,12 @@ func (s *Server) resolveParams(req *DiscoverRequest) (discoverParams, error) {
 }
 
 // optionsKey canonically encodes the result-affecting options for the
-// cache key. Workers, budgets and partition caps are excluded: the miners
-// guarantee byte-identical covers for every value of those knobs, so one
-// completed result answers them all.
+// cache key. Workers, budgets, partition caps, spill thresholds, and
+// shard topology (shard counts, worker endpoints) are excluded: the
+// miners guarantee byte-identical covers for every value of those
+// knobs, so one completed result answers them all — in particular a
+// shard-computed cover answers later single-node requests and vice
+// versa.
 func (p discoverParams) optionsKey() string {
 	return fmt.Sprintf("eps=%g|arm=%t", p.epsilon, p.armstrong)
 }
@@ -401,6 +443,9 @@ func (s *Server) runDiscovery(ctx context.Context, d *dataset, p discoverParams)
 
 	if p.algorithm == "incremental" {
 		return s.runIncremental(ctx, d, p, start)
+	}
+	if p.algorithm == "depminer" || p.algorithm == "depminer2" {
+		return s.runDepminer(ctx, d, p, start, budget)
 	}
 
 	rel, fp, err := d.snapshot()
@@ -420,44 +465,6 @@ func (s *Server) runDiscovery(ctx context.Context, d *dataset, p discoverParams)
 		runErr  error
 	)
 	switch p.algorithm {
-	case "depminer", "depminer2":
-		opts := core.Options{
-			Workers:       p.workers,
-			MaxCouples:    p.maxCouples,
-			Budget:        budget,
-			Armstrong:     core.ArmstrongNone,
-			MaxAgreeBytes: p.maxAgreeBytes,
-			SpillDir:      s.cfg.SpillDir,
-		}
-		if p.algorithm == "depminer2" {
-			opts.Algorithm = core.AgreeIdentifiers
-		}
-		if p.armstrong {
-			opts.Armstrong = core.ArmstrongRealWorldOrSynthetic
-		}
-		res, rerr := core.Discover(ctx, rel, opts)
-		runErr = rerr
-		if res != nil {
-			cover, partial = res.FDs, res.Partial
-			resp.Couples = res.Couples
-			resp.AgreeSets = len(res.AgreeSets)
-			resp.MaxSets = len(res.MaxSets)
-			resp.Notes = res.Notes
-			if res.Armstrong != nil {
-				arm := res.Armstrong
-				resp.ArmstrongSynthetic = res.ArmstrongSynthetic
-				resp.Armstrong = make([][]string, arm.Rows())
-				for t := 0; t < arm.Rows(); t++ {
-					resp.Armstrong[t] = arm.Row(t)
-				}
-			}
-			resp.SpilledRuns = res.Stats.Spill.RunsSpilled
-			resp.SpilledBytes = res.Stats.Spill.SpilledBytes
-			s.stats.mu.Lock()
-			s.stats.addPhases(res.Stats)
-			s.stats.addSpill(res.Stats.Spill)
-			s.stats.mu.Unlock()
-		}
 	case "fastfds":
 		res, rerr := fastfds.RunOpts(ctx, rel, fastfds.Options{Budget: budget})
 		runErr = rerr

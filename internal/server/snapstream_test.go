@@ -1,0 +1,178 @@
+package server
+
+// Satellite: snapshot-fed discovery. A durable dataset whose snapshot
+// fully covers its acknowledged state must discover by streaming the
+// snapshot's columns straight into the partition build — no
+// full-relation materialisation — and fall back to the materialised
+// path the moment the WAL grows past the snapshot or the request needs
+// the original values (Armstrong).
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// snapNil reports whether the dataset has ever materialised its
+// relation snapshot — the white-box "no rehydration" proof.
+func snapNil(t *testing.T, s *Server, id string) bool {
+	t.Helper()
+	d, ok := s.reg.get(id)
+	if !ok {
+		t.Fatalf("dataset %s not registered", id)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snap == nil
+}
+
+func TestSnapshotStreamedDiscovery(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{DataDir: dir, SnapshotEvery: -1})
+	base := relation.PaperExample()
+	reg := register(t, ts, base)
+	if code, _ := appendCSV(t, ts.URL, reg.ID, "90,6,99,Research,7\n91,7,01,Sales,8\n"); code != http.StatusOK {
+		t.Fatal("append failed")
+	}
+	grown := appendRows(t, base, [][]string{
+		{"90", "6", "99", "Research", "7"},
+		{"91", "7", "01", "Sales", "8"},
+	})
+	// Fold the WAL into a snapshot; the snapshot now reproduces the full
+	// acknowledged state by itself.
+	if err := s.store.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	var resp DiscoverResponse
+	if code := postJSON(t, ts.URL+"/v1/discover", DiscoverRequest{Dataset: reg.ID}, &resp); code != http.StatusOK {
+		t.Fatalf("discover status %d (%s)", code, resp.Error)
+	}
+	if !resp.SnapshotStreamed {
+		t.Fatal("discovery did not stream the complete snapshot")
+	}
+	if !sameCover(resp.FDs, fromScratchCover(t, grown)) {
+		t.Fatalf("streamed cover differs from reference:\n%v", resp.FDs)
+	}
+	if resp.Rows != grown.Rows() || resp.Attributes != grown.Arity() {
+		t.Fatalf("streamed shape %dx%d, want %dx%d", resp.Rows, resp.Attributes, grown.Rows(), grown.Arity())
+	}
+	// The proof that nothing was rehydrated: the dataset's materialised
+	// snapshot was never built, and the stats counter moved.
+	if !snapNil(t, s, reg.ID) {
+		t.Fatal("streamed discovery materialised the relation anyway")
+	}
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Discoveries.SnapshotStreams != 1 {
+		t.Fatalf("SnapshotStreams = %d, want 1", st.Discoveries.SnapshotStreams)
+	}
+
+	// An Armstrong construction needs the original values, so it must
+	// take the materialised path — correctly, not by failing.
+	var arm DiscoverResponse
+	if code := postJSON(t, ts.URL+"/v1/discover", DiscoverRequest{Dataset: reg.ID, Armstrong: true}, &arm); code != http.StatusOK {
+		t.Fatalf("armstrong discover status %d", code)
+	}
+	if arm.SnapshotStreamed {
+		t.Fatal("armstrong discovery claimed to stream (it needs the relation)")
+	}
+	if len(arm.Armstrong) == 0 {
+		t.Fatal("armstrong discovery returned no rows")
+	}
+	if snapNil(t, s, reg.ID) {
+		t.Fatal("armstrong discovery did not materialise the relation")
+	}
+
+	// A WAL record past the snapshot makes it incomplete: the next
+	// discovery degrades to the materialised path and stays correct.
+	if code, _ := appendCSV(t, ts.URL, reg.ID, "92,8,02,Ops,9\n"); code != http.StatusOK {
+		t.Fatal("second append failed")
+	}
+	grown2 := appendRows(t, grown, [][]string{{"92", "8", "02", "Ops", "9"}})
+	var after DiscoverResponse
+	if code := postJSON(t, ts.URL+"/v1/discover", DiscoverRequest{Dataset: reg.ID}, &after); code != http.StatusOK {
+		t.Fatalf("post-append discover status %d", code)
+	}
+	if after.SnapshotStreamed {
+		t.Fatal("discovery streamed a snapshot that no longer covers the dataset")
+	}
+	if !sameCover(after.FDs, fromScratchCover(t, grown2)) {
+		t.Fatal("post-append cover differs from reference")
+	}
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Discoveries.SnapshotStreams != 1 {
+		t.Fatalf("SnapshotStreams moved to %d on non-streamed runs", st.Discoveries.SnapshotStreams)
+	}
+}
+
+// TestSnapshotStreamedRecovery pins the boot path: after a clean
+// shutdown (which compacts), a rebooted server discovers straight from
+// the recovered snapshot without materialising the relation.
+func TestSnapshotStreamedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{DataDir: dir, SnapshotEvery: -1})
+	base := relation.PaperExample()
+	reg := register(t, ts1, base)
+	if code, _ := appendCSV(t, ts1.URL, reg.ID, "90,6,99,Research,7\n"); code != http.StatusOK {
+		t.Fatal("append failed")
+	}
+	grown := appendRows(t, base, [][]string{{"90", "6", "99", "Research", "7"}})
+	if err := s1.Shutdown(t.Context()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{DataDir: dir, SnapshotEvery: -1})
+	defer s2.Shutdown(t.Context())
+	var resp DiscoverResponse
+	if code := postJSON(t, ts2.URL+"/v1/discover", DiscoverRequest{Dataset: reg.ID}, &resp); code != http.StatusOK {
+		t.Fatalf("discover on recovered dataset: %d (%s)", code, resp.Error)
+	}
+	if !resp.SnapshotStreamed {
+		t.Fatal("recovered dataset did not stream its snapshot")
+	}
+	if !sameCover(resp.FDs, fromScratchCover(t, grown)) {
+		t.Fatal("recovered streamed cover differs from reference")
+	}
+	if !snapNil(t, s2, reg.ID) {
+		t.Fatal("recovered streamed discovery materialised the relation")
+	}
+}
+
+// TestSnapshotStreamedSharded combines the tentpole with the satellite:
+// a coordinator whose dataset is snapshot-complete plans and shards from
+// the stream; only the cold-fleet dataset push is allowed to rehydrate.
+func TestSnapshotStreamedSharded(t *testing.T) {
+	dir := t.TempDir()
+	workers := newWorkerFleet(t, 2, Config{})
+	s, ts := newCoordServer(t, workers, Config{DataDir: dir, SnapshotEvery: -1})
+	base := relation.PaperExample()
+	reg := register(t, ts, base)
+	if code, _ := appendCSV(t, ts.URL, reg.ID, "90,6,99,Research,7\n"); code != http.StatusOK {
+		t.Fatal("append failed")
+	}
+	grown := appendRows(t, base, [][]string{{"90", "6", "99", "Research", "7"}})
+	if err := s.store.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, resp := discover(t, ts, DiscoverRequest{Dataset: reg.ID, Shards: 2})
+	if code != http.StatusOK || resp.Partial {
+		t.Fatalf("sharded streamed discover: code=%d partial=%v (%s)", code, resp.Partial, resp.Error)
+	}
+	if !resp.SnapshotStreamed {
+		t.Fatal("coordinator did not plan from the snapshot stream")
+	}
+	if resp.ShardsRemote != 2 {
+		t.Fatalf("remote shards = %d, want 2", resp.ShardsRemote)
+	}
+	if !sameCover(resp.FDs, fromScratchCover(t, grown)) {
+		t.Fatal("sharded streamed cover differs from reference")
+	}
+	// The cold fleet forced one CSV push, which is the single permitted
+	// rehydration point.
+	if snapNil(t, s, reg.ID) {
+		t.Fatal("expected the cold-fleet push to have materialised the relation once")
+	}
+}

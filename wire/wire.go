@@ -66,6 +66,11 @@ type DiscoverRequest struct {
 	// Armstrong includes the Armstrong relation in the response
 	// (depminer/depminer2 only).
 	Armstrong bool `json:"armstrong,omitempty"`
+	// Shards is the shard count for distributed discovery, honoured only
+	// by a coordinator-configured server (0 = the coordinator's default,
+	// one shard per worker endpoint). Like spill knobs, shard topology is
+	// an execution detail: the cover is byte-identical at every count.
+	Shards int `json:"shards,omitempty"`
 	// Async forces the execution mode; nil applies the server's
 	// row-count threshold.
 	Async *bool `json:"async,omitempty"`
@@ -94,7 +99,17 @@ type DiscoverResponse struct {
 	BudgetUsed         int64      `json:"budget_used,omitempty"`
 	SpilledRuns        int64      `json:"spilled_runs,omitempty"`
 	SpilledBytes       int64      `json:"spilled_bytes,omitempty"`
-	ElapsedMS          float64    `json:"elapsed_ms"`
+	// Shards reports how the agree-set phase was split on a
+	// coordinator-served discovery (0 = single-node), with the remote /
+	// local-fallback breakdown.
+	Shards       int `json:"shards,omitempty"`
+	ShardsRemote int `json:"shards_remote,omitempty"`
+	ShardsLocal  int `json:"shards_local,omitempty"`
+	// SnapshotStreamed reports that the dataset was fed to the miner by
+	// streaming its durable snapshot column by column, without
+	// materialising the relation in memory.
+	SnapshotStreamed bool    `json:"snapshot_streamed,omitempty"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
 }
 
 // JobInfo is the wire description of an async discovery job.
@@ -152,7 +167,10 @@ type DiscoveryStats struct {
 	Failed       int64              `json:"failed"`
 	Sync         int64              `json:"sync"`
 	Async        int64              `json:"async"`
-	PhaseTotalMS map[string]float64 `json:"phase_total_ms"`
+	// SnapshotStreams counts discoveries fed by streaming a durable
+	// snapshot instead of materialising the relation.
+	SnapshotStreams int64              `json:"snapshot_streams,omitempty"`
+	PhaseTotalMS    map[string]float64 `json:"phase_total_ms"`
 }
 
 // PstoreStats is the partition-store section of /v1/stats, aggregated
@@ -215,6 +233,9 @@ type StatsResponse struct {
 	Pstore      PstoreStats    `json:"pstore"`
 	Spill       SpillStats     `json:"spill"`
 	Durable     *DurableStats  `json:"durable,omitempty"`
+	// Shard is the distributed-discovery section: coordinator fan-out and
+	// worker serving counters. Present only on shard-role servers.
+	Shard *ShardStats `json:"shard,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
