@@ -23,6 +23,7 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -123,6 +124,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		setRequestID(req)
 		var (
 			status     int
 			raw        []byte
@@ -365,9 +367,19 @@ func (c *Client) Stats(ctx context.Context) (*wire.StatsResponse, error) {
 	return &st, nil
 }
 
-// Health probes /healthz: nil while serving, ErrUnavailable (via the
-// typed *APIError) once the server drains.
+// Health probes readiness (GET /readyz): nil while the server is
+// serving and accepting new work, ErrUnavailable (via the typed
+// *APIError) once it drains or its durable layer degrades. Pure process
+// liveness — 200 even mid-drain — lives at GET /healthz; this method
+// keeps the SDK's historical "can I send work here" semantics, which is
+// what callers branching on ErrUnavailable actually ask. Servers
+// predating the liveness/readiness split have no /readyz; a 404 falls
+// back to their /healthz, which carried both meanings.
 func (c *Client) Health(ctx context.Context) error {
-	_, _, err := c.do(ctx, http.MethodGet, "/healthz", "", nil, false)
+	_, _, err := c.do(ctx, http.MethodGet, "/readyz", "", nil, false)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+		_, _, err = c.do(ctx, http.MethodGet, "/healthz", "", nil, false)
+	}
 	return err
 }

@@ -1,0 +1,62 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"repro/wire"
+)
+
+// requestIDKey keys the outbound request id in a context.
+type requestIDKey struct{}
+
+// WithRequestID returns ctx carrying id: every request the client makes
+// under the returned context sends it as the X-Depminer-Request-Id
+// header. The server's middleware adopts a usable incoming id instead of
+// minting one, so a coordinator that forwards its own id here gets
+// worker log lines that join its own — one grep reconstructs a
+// discovery's timeline across the fleet. An empty id leaves ctx
+// unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// requestIDFrom extracts the outbound request id, "" when unset.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// setRequestID stamps the propagation header from ctx onto req.
+func setRequestID(req *http.Request) {
+	if id := requestIDFrom(req.Context()); id != "" {
+		req.Header.Set(wire.RequestIDHeader, id)
+	}
+}
+
+// Version fetches the server's build identity from GET /v1/version.
+func (c *Client) Version(ctx context.Context) (*wire.VersionResponse, error) {
+	var v wire.VersionResponse
+	if err := c.get(ctx, "/v1/version", &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// MetricsText fetches the raw Prometheus text exposition from
+// GET /metrics — for harnesses and smoke tests that assert on counters;
+// monitoring systems scrape the endpoint directly.
+func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
+	status, raw, err := c.do(ctx, http.MethodGet, "/metrics", "", nil, true)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("depminerd: unexpected metrics status %d", status)
+	}
+	return raw, nil
+}

@@ -63,6 +63,7 @@ func (c *Client) AgreeShard(ctx context.Context, req wire.ShardRequest) (*RunStr
 			return nil, err
 		}
 		httpReq.Header.Set("Content-Type", "application/json")
+		setRequestID(httpReq)
 		var (
 			status     int
 			attemptErr error

@@ -17,7 +17,14 @@
 //	POST /v1/discover            run (or fetch cached) FD discovery
 //	GET  /v1/jobs/{id}           poll an async discovery job
 //	GET  /v1/stats               queue, cache, phase-timing, pstore counters
-//	GET  /healthz                liveness + drain state
+//	GET  /v1/version             build identity (module version, VCS revision)
+//	GET  /metrics                Prometheus text exposition of the same counters
+//	GET  /healthz                pure process liveness (200 even mid-drain)
+//	GET  /readyz                 readiness: 503 while draining or durably degraded
+//
+// Structured logs go to stderr; -log-level/-log-format layer over the
+// DEPMINER_LOG_LEVEL/DEPMINER_LOG_FORMAT environment. -pprof-addr serves
+// /debug/pprof on a separate listener (off by default).
 //
 // SIGINT/SIGTERM starts a graceful drain: in-flight discoveries finish
 // under their budgets while new work is refused; a second signal kills
@@ -29,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -36,13 +44,16 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
 // config carries the resolved command-line configuration.
 type config struct {
 	addr         string
+	pprofAddr    string
 	drainTimeout time.Duration
+	log          obs.Config
 	server       server.Config
 }
 
@@ -67,7 +78,20 @@ func main() {
 	workerEndpoints := flag.String("workers-endpoints", "", "comma-separated worker depminerd base URLs; non-empty makes this server a shard coordinator for depminer/depminer2 discoveries")
 	shardRole := flag.String("shard-role", "", "optional role sanity check: \"coordinator\" requires -workers-endpoints, \"worker\" forbids it (empty = no check)")
 	flag.IntVar(&cfg.server.DefaultShards, "shards", 0, "default shard count for coordinated discoveries (0 = one shard per worker endpoint)")
+	flag.StringVar(&cfg.log.Level, "log-level", "", "log level: debug, info, warn, error (empty = $DEPMINER_LOG_LEVEL, else info)")
+	flag.StringVar(&cfg.log.Format, "log-format", "", "log format: text or json (empty = $DEPMINER_LOG_FORMAT, else text)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "listen address for /debug/pprof (empty = profiling off)")
+	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+	if *version {
+		b := obs.Build()
+		dirty := ""
+		if b.Dirty {
+			dirty = ", dirty"
+		}
+		fmt.Printf("depminerd %s (revision %s%s, %s)\n", b.Version, b.Revision, dirty, b.GoVersion)
+		return
+	}
 	cfg.server.DisableFsync = !*fsync
 	if *workerEndpoints != "" {
 		cfg.server.WorkerEndpoints = strings.Split(*workerEndpoints, ",")
@@ -100,6 +124,14 @@ func main() {
 // ready is called with the bound address once the listener is up — the
 // smoke tests and -addr :0 users discover the port from it.
 func run(ctx context.Context, cfg config, ready func(addr string)) error {
+	// Flags layer over the environment: an explicit -log-level wins, an
+	// unset one keeps $DEPMINER_LOG_LEVEL's answer, and info/text is the
+	// final fallback.
+	logger, err := obs.NewLogger(os.Stderr, cfg.log.Layer(obs.ConfigFromEnv()))
+	if err != nil {
+		return err
+	}
+	cfg.server.Logger = logger
 	srv, err := server.New(cfg.server)
 	if err != nil {
 		return err
@@ -118,6 +150,23 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
+	// The profiling surface is opt-in and on its own listener: operator
+	// tooling, never part of the API address.
+	var ps *http.Server
+	if cfg.pprofAddr != "" {
+		pln, perr := net.Listen("tcp", cfg.pprofAddr)
+		if perr != nil {
+			return fmt.Errorf("pprof listener: %w", perr)
+		}
+		ps = &http.Server{Handler: obs.PprofMux(), ReadHeaderTimeout: 5 * time.Second}
+		logger.Info("pprof listening", slog.String("addr", pln.Addr().String()))
+		go func() {
+			if serr := ps.Serve(pln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+				logger.Error("pprof server failed", slog.String("error", serr.Error()))
+			}
+		}()
+	}
+
 	select {
 	case serr := <-errc:
 		return serr
@@ -130,6 +179,9 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 	herr := hs.Shutdown(dctx)
 	if herr != nil && !errors.Is(herr, http.ErrServerClosed) {
 		derr = errors.Join(derr, herr)
+	}
+	if ps != nil {
+		_ = ps.Shutdown(dctx)
 	}
 	// A clean drain after a signal is the daemon's normal exit: code 0.
 	return derr

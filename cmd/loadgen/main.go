@@ -54,6 +54,7 @@ import (
 
 	"repro/client"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/wire"
 )
 
@@ -111,6 +112,14 @@ type report struct {
 	Latency       *latency            `json:"latency_ms"`
 	Ops           map[string]*opStats `json:"ops"`
 	ServerStats   *wire.StatsResponse `json:"server_stats,omitempty"`
+	// ServerBuild identifies the binary that served the run, so two
+	// BENCH_LOAD.json files are attributable to exact builds.
+	ServerBuild *wire.VersionResponse `json:"server_build,omitempty"`
+	// MetricsDelta is the per-series change in the server's /metrics
+	// exposition across the run (after minus before, zero deltas
+	// dropped) — the Prometheus view of what the load did, scraped from
+	// the same registry /v1/stats reads.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
 }
 
 // collector merges worker outcomes under one mutex; workers record a
@@ -297,6 +306,8 @@ func run(ctx context.Context, cfg config) (*report, error) {
 		return nil, fmt.Errorf("warmup discover: %w", err)
 	}
 
+	before, _ := scrapeMetrics(ctx, c)
+
 	col := newCollector(mix)
 	var coldSeq, appendSeq int64
 	var seqMu sync.Mutex
@@ -355,7 +366,39 @@ func run(ctx context.Context, cfg config) (*report, error) {
 	if stats, err := c.Stats(ctx); err == nil {
 		rep.ServerStats = stats
 	}
+	if build, err := c.Version(ctx); err == nil {
+		rep.ServerBuild = build
+	}
+	if after, err := scrapeMetrics(ctx, c); err == nil && before != nil {
+		rep.MetricsDelta = metricsDelta(before, after)
+	}
 	return rep, nil
+}
+
+// scrapeMetrics fetches and parses the server's /metrics exposition.
+func scrapeMetrics(ctx context.Context, c *client.Client) (map[string]float64, error) {
+	raw, err := c.MetricsText(ctx)
+	if err != nil {
+		return nil, err
+	}
+	series, err := obs.ParseText(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	return obs.SeriesMap(series), nil
+}
+
+// metricsDelta is after minus before per series, zero deltas dropped —
+// gauges that returned to rest (in-flight, running jobs) vanish, so the
+// map reads as "what this run did".
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
 }
 
 // execute performs one operation and classifies its outcome.
@@ -453,6 +496,12 @@ func printHuman(rep *report) {
 	if s := rep.ServerStats; s != nil {
 		fmt.Printf("  server      jobs: %d admitted, %d rejected, peak %d/%d; cache: %d hits, %d misses\n",
 			s.Jobs.Admitted, s.Jobs.Rejected, s.Jobs.PeakRunning, s.Jobs.Cap, s.Cache.Hits, s.Cache.Misses)
+	}
+	if b := rep.ServerBuild; b != nil {
+		fmt.Printf("  build       %s (revision %s, %s)\n", b.Version, b.Revision, b.GoVersion)
+	}
+	if n := len(rep.MetricsDelta); n > 0 {
+		fmt.Printf("  metrics     %d series moved during the run (full delta in the JSON report)\n", n)
 	}
 }
 

@@ -1,0 +1,249 @@
+// Package obs is the observability subsystem of the repository: the
+// structured-logging, metrics, tracing, and profiling plumbing shared by
+// depminerd, the shard fleet, and the CLIs (DESIGN.md §16).
+//
+// Four pillars:
+//
+//   - attributes: a small, immutable, sorted attribute set (Attr, Set)
+//     for request-scoped context — request id, dataset fingerprint,
+//     shard index — carried through context.Context and attached to
+//     every log line a request produces;
+//   - logging: log/slog configuration layered from environment and
+//     flags (Config), with a guaranteed-quiet default (Nop) so tests
+//     and library use never print;
+//   - metrics: a dependency-free Prometheus text-exposition registry
+//     (Registry) with atomic counters, gauges, and histograms on the
+//     hot paths and scrape-time samplers bridging existing stats
+//     structs;
+//   - tracing: lightweight spans (StartSpan) that log structured
+//     duration events instead of shipping to a collector, so per-phase
+//     and per-shard timings can be joined across a fleet by request id.
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind discriminates an Attr's payload.
+type Kind int
+
+const (
+	KindString Kind = iota
+	KindInt64
+	KindFloat64
+	KindBool
+	KindDuration
+)
+
+// Attr is one key/value attribute. The zero Attr is an empty string
+// attribute with an empty key.
+type Attr struct {
+	key  string
+	kind Kind
+	str  string
+	num  int64 // int64, bool (0/1), duration (ns), or float64 bits
+	f    float64
+}
+
+// String makes a string attribute.
+func String(key, value string) Attr { return Attr{key: key, kind: KindString, str: value} }
+
+// Int makes an int attribute.
+func Int(key string, value int) Attr { return Int64(key, int64(value)) }
+
+// Int64 makes an int64 attribute.
+func Int64(key string, value int64) Attr { return Attr{key: key, kind: KindInt64, num: value} }
+
+// Float64 makes a float64 attribute.
+func Float64(key string, value float64) Attr { return Attr{key: key, kind: KindFloat64, f: value} }
+
+// Bool makes a bool attribute.
+func Bool(key string, value bool) Attr {
+	n := int64(0)
+	if value {
+		n = 1
+	}
+	return Attr{key: key, kind: KindBool, num: n}
+}
+
+// Duration makes a duration attribute.
+func Duration(key string, value time.Duration) Attr {
+	return Attr{key: key, kind: KindDuration, num: int64(value)}
+}
+
+// Key returns the attribute's key.
+func (a Attr) Key() string { return a.key }
+
+// Kind returns the payload discriminator.
+func (a Attr) Kind() Kind { return a.kind }
+
+// AsString renders the value as a string, whatever the kind.
+func (a Attr) AsString() string {
+	switch a.kind {
+	case KindString:
+		return a.str
+	case KindInt64:
+		return strconv.FormatInt(a.num, 10)
+	case KindFloat64:
+		return strconv.FormatFloat(a.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(a.num != 0)
+	case KindDuration:
+		return time.Duration(a.num).String()
+	}
+	return ""
+}
+
+// AsInt64 returns the integer payload (0 for string/float kinds that do
+// not carry one).
+func (a Attr) AsInt64() int64 { return a.num }
+
+// AsFloat64 returns the float payload, converting integer kinds.
+func (a Attr) AsFloat64() float64 {
+	if a.kind == KindFloat64 {
+		return a.f
+	}
+	return float64(a.num)
+}
+
+// AsBool returns the boolean payload.
+func (a Attr) AsBool() bool { return a.num != 0 }
+
+// AsDuration returns the duration payload.
+func (a Attr) AsDuration() time.Duration { return time.Duration(a.num) }
+
+// Slog converts the attribute to its log/slog equivalent.
+func (a Attr) Slog() slog.Attr {
+	switch a.kind {
+	case KindInt64:
+		return slog.Int64(a.key, a.num)
+	case KindFloat64:
+		return slog.Float64(a.key, a.f)
+	case KindBool:
+		return slog.Bool(a.key, a.num != 0)
+	case KindDuration:
+		return slog.Duration(a.key, time.Duration(a.num))
+	default:
+		return slog.String(a.key, a.str)
+	}
+}
+
+// String implements fmt.Stringer: key=value.
+func (a Attr) String() string { return a.key + "=" + a.AsString() }
+
+// Set is an immutable attribute set: sorted by key, deduplicated (last
+// value wins). The zero Set is empty and usable. Sets are values —
+// Merge returns a new Set, the receiver is never mutated — so a request
+// context can be extended (shard index, dataset id) without racing
+// sibling goroutines holding the parent set.
+type Set struct {
+	attrs []Attr
+}
+
+// NewSet builds a set from attrs: sorted by key, later duplicates
+// winning, empty keys dropped.
+func NewSet(attrs ...Attr) Set {
+	return Set{}.Merge(attrs...)
+}
+
+// Len returns the number of attributes.
+func (s Set) Len() int { return len(s.attrs) }
+
+// Keys returns the sorted attribute keys.
+func (s Set) Keys() []string {
+	keys := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		keys[i] = a.key
+	}
+	return keys
+}
+
+// Get returns the attribute stored under key.
+func (s Set) Get(key string) (Attr, bool) {
+	i, ok := slices.BinarySearchFunc(s.attrs, key, func(a Attr, k string) int {
+		return strings.Compare(a.key, k)
+	})
+	if !ok {
+		return Attr{}, false
+	}
+	return s.attrs[i], true
+}
+
+// Has reports whether key is present.
+func (s Set) Has(key string) bool {
+	_, ok := s.Get(key)
+	return ok
+}
+
+// Merge returns a new set with attrs layered on top of s (matching keys
+// overridden, the receiver unchanged).
+func (s Set) Merge(attrs ...Attr) Set {
+	if len(attrs) == 0 {
+		return s
+	}
+	merged := make([]Attr, len(s.attrs), len(s.attrs)+len(attrs))
+	copy(merged, s.attrs)
+	for _, a := range attrs {
+		if a.key == "" {
+			continue
+		}
+		i, ok := slices.BinarySearchFunc(merged, a.key, func(x Attr, k string) int {
+			return strings.Compare(x.key, k)
+		})
+		if ok {
+			merged[i] = a
+		} else {
+			merged = slices.Insert(merged, i, a)
+		}
+	}
+	return Set{attrs: merged}
+}
+
+// MergeSet layers other on top of s.
+func (s Set) MergeSet(other Set) Set { return s.Merge(other.attrs...) }
+
+// Range calls fn for each attribute in key order until fn returns false.
+func (s Set) Range(fn func(Attr) bool) {
+	for _, a := range s.attrs {
+		if !fn(a) {
+			return
+		}
+	}
+}
+
+// Slog converts the set to slog attributes, for logger.With / LogAttrs.
+func (s Set) Slog() []slog.Attr {
+	out := make([]slog.Attr, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Slog()
+	}
+	return out
+}
+
+// Args converts the set to the ...any form of slog.Logger.With.
+func (s Set) Args() []any {
+	out := make([]any, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Slog()
+	}
+	return out
+}
+
+// String renders the set as (k=v, k=v) in key order.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", a.key, a.AsString())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Environment variables consulted by ConfigFromEnv. Flags layer on top:
+// a flag left at its default keeps the environment's answer, an explicit
+// flag wins.
+const (
+	EnvLogLevel  = "DEPMINER_LOG_LEVEL"  // debug | info | warn | error
+	EnvLogFormat = "DEPMINER_LOG_FORMAT" // text | json
+)
+
+// Config selects the log level and output format. The zero value means
+// "info, text".
+type Config struct {
+	// Level is one of debug, info, warn, error (case-insensitive).
+	// Empty = info.
+	Level string
+	// Format is text or json. Empty = text.
+	Format string
+}
+
+// ConfigFromEnv reads the layered environment defaults. Unset variables
+// leave the corresponding field empty, so flag defaults show through.
+func ConfigFromEnv() Config {
+	return Config{
+		Level:  os.Getenv(EnvLogLevel),
+		Format: os.Getenv(EnvLogFormat),
+	}
+}
+
+// Layer returns cfg with empty fields filled from fallback — the
+// flag-over-env composition: Layer(flags, ConfigFromEnv()).
+func (c Config) Layer(fallback Config) Config {
+	if c.Level == "" {
+		c.Level = fallback.Level
+	}
+	if c.Format == "" {
+		c.Format = fallback.Format
+	}
+	return c
+}
+
+// ParseLevel maps a level name onto its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (debug, info, warn, error)", s)
+}
+
+// NewLogger builds a logger writing to w under cfg. Invalid level or
+// format names are errors, not silent defaults — a fat-fingered
+// DEPMINER_LOG_LEVEL should fail loudly at boot, not hide debug output.
+func NewLogger(w io.Writer, cfg Config) (*slog.Logger, error) {
+	level, err := ParseLevel(cfg.Level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(cfg.Format)) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (text, json)", cfg.Format)
+}
+
+// Nop returns a logger that discards everything — the guaranteed-quiet
+// default for tests and for servers constructed without a logger.
+func Nop() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// ctxKey keys the request-scoped attribute set in a context.
+type ctxKey struct{}
+
+// AttrKeyRequestID is the canonical key of the per-request correlation
+// id, generated (or adopted from the RequestIDHeader) by Middleware and
+// propagated across the fleet so a coordinator's log lines join against
+// the workers that served its shards.
+const AttrKeyRequestID = "request_id"
+
+// ContextWithAttrs layers attrs onto the context's attribute set.
+func ContextWithAttrs(ctx context.Context, attrs ...Attr) context.Context {
+	return context.WithValue(ctx, ctxKey{}, ContextAttrs(ctx).Merge(attrs...))
+}
+
+// ContextWithSet replaces the context's attribute set — used to carry a
+// request's attributes onto a detached context (async jobs run under the
+// server's base context, not the request's).
+func ContextWithSet(ctx context.Context, set Set) context.Context {
+	return context.WithValue(ctx, ctxKey{}, set)
+}
+
+// ContextAttrs returns the context's attribute set (empty when absent).
+func ContextAttrs(ctx context.Context) Set {
+	if s, ok := ctx.Value(ctxKey{}).(Set); ok {
+		return s
+	}
+	return Set{}
+}
+
+// RequestID returns the context's request id, or "".
+func RequestID(ctx context.Context) string {
+	a, ok := ContextAttrs(ctx).Get(AttrKeyRequestID)
+	if !ok {
+		return ""
+	}
+	return a.AsString()
+}
+
+// Logger returns base with the context's attribute set attached, so one
+// call site produces lines carrying the request id, dataset, and shard
+// attributes without threading them by hand. A nil base means Nop.
+func Logger(ctx context.Context, base *slog.Logger) *slog.Logger {
+	if base == nil {
+		return Nop()
+	}
+	set := ContextAttrs(ctx)
+	if set.Len() == 0 {
+		return base
+	}
+	return base.With(set.Args()...)
+}

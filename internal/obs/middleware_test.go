@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/wire"
+)
+
+func newTestMiddleware(t *testing.T, next http.Handler) (http.Handler, *Registry, *strings.Builder) {
+	t.Helper()
+	var buf strings.Builder
+	log, err := NewLogger(&buf, Config{Level: "debug"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	h := Middleware(MiddlewareConfig{Logger: log, Metrics: NewHTTPMetrics(reg, "test")}, next)
+	return h, reg, &buf
+}
+
+func TestMiddlewareGeneratesRequestID(t *testing.T) {
+	var seen string
+	h, _, buf := newTestMiddleware(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(seen) {
+		t.Errorf("generated id %q not 16 hex chars", seen)
+	}
+	if got := rec.Header().Get(wire.RequestIDHeader); got != seen {
+		t.Errorf("response header %q != ctx id %q", got, seen)
+	}
+	if !strings.Contains(buf.String(), "request_id="+seen) {
+		t.Errorf("access log missing request id:\n%s", buf.String())
+	}
+}
+
+func TestMiddlewareAdoptsIncomingID(t *testing.T) {
+	var seen string
+	h, _, _ := newTestMiddleware(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+	}))
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(wire.RequestIDHeader, "upstream-id-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "upstream-id-42" {
+		t.Errorf("adopted id = %q, want upstream-id-42", seen)
+	}
+	if got := rec.Header().Get(wire.RequestIDHeader); got != "upstream-id-42" {
+		t.Errorf("echoed id = %q", got)
+	}
+}
+
+func TestMiddlewareRejectsMalformedID(t *testing.T) {
+	for _, bad := range []string{"", "has space", "ctl\x01char", strings.Repeat("x", 129), "newline\n"} {
+		var seen string
+		h, _, _ := newTestMiddleware(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			seen = RequestID(r.Context())
+		}))
+		req := httptest.NewRequest("GET", "/x", nil)
+		if bad != "" {
+			req.Header[wire.RequestIDHeader] = []string{bad}
+		}
+		h.ServeHTTP(httptest.NewRecorder(), req)
+		if seen == bad || seen == "" {
+			t.Errorf("malformed id %q was adopted (got %q)", bad, seen)
+		}
+	}
+}
+
+func TestMiddlewarePanicContained(t *testing.T) {
+	h, reg, buf := newTestMiddleware(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil)) // must not propagate
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(buf.String(), "http handler panic") || !strings.Contains(buf.String(), "boom") {
+		t.Errorf("panic not logged:\n%s", buf.String())
+	}
+	m := scrape(t, reg)
+	if m["test_http_panics_total"] != 1 {
+		t.Errorf("panics counter = %v, want 1", m["test_http_panics_total"])
+	}
+	if m[`test_http_requests_total{code="500",method="GET",route="unmatched"}`] != 1 {
+		t.Errorf("500 not recorded; metrics: %v", m)
+	}
+}
+
+func TestMiddlewareAbortHandlerPassesThrough(t *testing.T) {
+	h, reg, _ := newTestMiddleware(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		panic(http.ErrAbortHandler)
+	}))
+	func() {
+		defer func() {
+			if p := recover(); p != http.ErrAbortHandler {
+				t.Errorf("recovered %v, want http.ErrAbortHandler to propagate", p)
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	}()
+	m := scrape(t, reg)
+	if m["test_http_panics_total"] != 0 {
+		t.Errorf("ErrAbortHandler counted as a contained panic")
+	}
+	if m["test_http_in_flight_requests"] != 0 {
+		t.Errorf("in-flight gauge leaked on abort: %v", m["test_http_in_flight_requests"])
+	}
+}
+
+func TestMiddlewareRecordsRoutePattern(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets/{id}/rows", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	h, reg, buf := newTestMiddleware(t, mux)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/datasets/abc/rows", nil))
+
+	m := scrape(t, reg)
+	key := `test_http_requests_total{code="200",method="POST",route="/v1/datasets/{id}/rows"}`
+	if m[key] != 1 {
+		t.Errorf("route-labelled counter missing; metrics: %v", m)
+	}
+	if m[`test_http_request_duration_seconds_count{route="/v1/datasets/{id}/rows"}`] != 1 {
+		t.Errorf("duration histogram missing; metrics: %v", m)
+	}
+	// The access log carries the pattern, not the raw (unbounded) path only.
+	if !strings.Contains(buf.String(), "route=/v1/datasets/{id}/rows") {
+		t.Errorf("access log missing route pattern:\n%s", buf.String())
+	}
+}
+
+func TestMiddlewareInFlightDrainsToZero(t *testing.T) {
+	h, reg, _ := newTestMiddleware(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	for i := 0; i < 5; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	}
+	m := scrape(t, reg)
+	if m["test_http_in_flight_requests"] != 0 {
+		t.Errorf("in-flight = %v after all requests done", m["test_http_in_flight_requests"])
+	}
+}
+
+func scrape(t *testing.T, reg *Registry) map[string]float64 {
+	t.Helper()
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ParseText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v\n%s", err, buf.String())
+	}
+	return SeriesMap(series)
+}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofMux returns the opt-in profiling mux: the full net/http/pprof
+// surface under /debug/pprof/. It is served on its own listener
+// (depminerd -pprof-addr), never on the API address — profiles are an
+// operator tool, not part of the public surface, and an unset flag
+// leaves them completely off. The file-writing sibling of this is
+// cmd/benchmark's -cpuprofile/-memprofile/-trace plumbing; this mux is
+// the live-process counterpart (`go tool pprof http://host:port/debug/
+// pprof/profile`).
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

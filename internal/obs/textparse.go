@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is one parsed exposition line. Key is the canonical series
+// identity — name plus sorted label signature — the form scripts and
+// the loadgen delta report address series by.
+type Series struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Key renders the canonical series identity: name{a="1",b="2"} with
+// labels sorted by name, or the bare name without labels.
+func (s Series) Key() string { return s.Name + renderLabels(s.Labels) }
+
+// ParseText parses a Prometheus text exposition (the format WriteText
+// produces; the general subset real exporters emit). Comment and blank
+// lines are skipped; malformed lines are errors — the CI scrape asserts
+// the exposition parses, so leniency would hide bugs.
+func ParseText(r io.Reader) ([]Series, error) {
+	var out []Series
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Series, error) {
+	var s Series
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value on series line %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote, escaped := false, false
+		for i := 1; i < len(rest); i++ {
+			c := rest[i]
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\' && inQuote:
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("no value on series line %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string) ([]Label, error) {
+	var labels []Label
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label in %q", body)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		rest = strings.TrimSpace(rest[eq+1:])
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("unquoted label value in %q", body)
+		}
+		val := strings.Builder{}
+		i := 1
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated label value in %q", body)
+		}
+		labels = append(labels, Label{Name: name, Value: val.String()})
+		rest = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		rest = strings.TrimSpace(rest)
+	}
+	sort.SliceStable(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+	return labels, nil
+}
+
+// SeriesMap folds parsed series into a key→value map.
+func SeriesMap(all []Series) map[string]float64 {
+	m := make(map[string]float64, len(all))
+	for _, s := range all {
+		m[s.Key()] = s.Value
+	}
+	return m
+}

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/guard"
 	"repro/internal/incremental"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/wire"
 )
@@ -226,10 +229,18 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	}
 
 	info := d.info()
+	// From here every log line this discovery produces — on this process
+	// or on a worker serving one of its shards — carries the dataset,
+	// fingerprint, and algorithm alongside the middleware's request id.
+	ctx := obs.ContextWithAttrs(r.Context(),
+		obs.String("dataset", d.id),
+		obs.String("fingerprint", info.Fingerprint),
+		obs.String("algorithm", p.algorithm))
 	key := cacheKey{fingerprint: info.Fingerprint, algorithm: p.algorithm, options: p.optionsKey()}
 	if resp, hit := s.cache.get(key); hit {
 		out := *resp
 		out.Cached = true
+		obs.Event(ctx, s.log, "discovery cache hit")
 		writeJSON(w, http.StatusOK, out)
 		return
 	}
@@ -254,8 +265,9 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		if s.testHookJobStart != nil {
 			s.testHookJobStart(d.id)
 		}
-		resp, rerr := s.runDiscovery(r.Context(), d, p)
+		resp, rerr := s.runDiscovery(ctx, d, p)
 		s.recordOutcome(resp, rerr, false)
+		s.logOutcome(ctx, resp, rerr)
 		if rerr != nil {
 			writeError(w, classifyStatus(rerr), "discovery failed: %v", rerr)
 			return
@@ -266,6 +278,11 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := s.jobs.add(d.id, p.algorithm)
+	// The job outlives this request, so it runs under the server's base
+	// context — but carries the request's attribute set (request id
+	// included) onto it, joining the job's log lines to the HTTP request
+	// that submitted it.
+	jctx := obs.ContextWithSet(s.baseCtx, obs.ContextAttrs(ctx).Merge(obs.String("job_id", j.id)))
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -273,8 +290,9 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		if s.testHookJobStart != nil {
 			s.testHookJobStart(d.id)
 		}
-		resp, rerr := s.runDiscovery(s.baseCtx, d, p)
+		resp, rerr := s.runDiscovery(jctx, d, p)
 		s.recordOutcome(resp, rerr, true)
+		s.logOutcome(jctx, resp, rerr)
 		if rerr != nil {
 			j.finish(nil, rerr.Error())
 			return
@@ -284,6 +302,26 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	}()
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, j.info())
+}
+
+// logOutcome writes the one per-discovery summary line.
+func (s *Server) logOutcome(ctx context.Context, resp *DiscoverResponse, err error) {
+	log := obs.Logger(ctx, s.log)
+	switch {
+	case err != nil:
+		log.Warn("discovery failed", slog.String("error", err.Error()))
+	case resp != nil && resp.Partial:
+		log.Warn("discovery partial",
+			slog.String("cutoff", resp.Error),
+			slog.Int("fds", len(resp.FDs)),
+			slog.Float64("elapsed_ms", resp.ElapsedMS))
+	case resp != nil:
+		log.Info("discovery done",
+			slog.Int("fds", len(resp.FDs)),
+			slog.Int("shards", resp.Shards),
+			slog.Bool("streamed", resp.SnapshotStreamed),
+			slog.Float64("elapsed_ms", resp.ElapsedMS))
+	}
 }
 
 // maybeCache stores complete (non-partial) results under the fingerprint
@@ -324,96 +362,48 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.info())
 }
 
-// handleStats implements GET /v1/stats.
+// handleStats implements GET /v1/stats as a plain JSON rendering of the
+// same statsSnapshot the /metrics sampler scrapes (metrics.go) — the two
+// endpoints cannot disagree because neither owns counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.stats.mu.Lock()
-	disc := DiscoveryStats{
-		Total:           s.stats.total,
-		Partial:         s.stats.partial,
-		Failed:          s.stats.failed,
-		Sync:            s.stats.sync,
-		Async:           s.stats.async,
-		SnapshotStreams: s.stats.snapshotStreams,
-		PhaseTotalMS:    make(map[string]float64, len(s.stats.phases)),
-	}
-	for name, d := range s.stats.phases {
-		disc.PhaseTotalMS[name] = float64(d) / float64(time.Millisecond)
-	}
-	ps := PstoreStats{
-		Hits:       s.stats.pstore.Hits,
-		Misses:     s.stats.pstore.Misses,
-		Evictions:  s.stats.pstore.Evictions,
-		Recomputes: s.stats.pstore.Recomputes,
-		PeakBytes:  s.stats.pstore.PeakBytes,
-	}
-	sp := SpillStats{
-		RunsSpilled:  s.stats.spill.RunsSpilled,
-		SpilledSets:  s.stats.spill.SpilledSets,
-		SpilledBytes: s.stats.spill.SpilledBytes,
-		MergedRuns:   s.stats.spill.MergedRuns,
-		ReadBlocks:   s.stats.spill.ReadBlocks,
-	}
-	shc := s.stats.shard
-	s.stats.mu.Unlock()
-	resp := StatsResponse{
-		UptimeMS:    float64(time.Since(s.started)) / float64(time.Millisecond),
-		Draining:    s.Draining(),
-		Datasets:    s.reg.count(),
-		Jobs:        s.jobs.stats(),
-		Cache:       s.cache.stats(),
-		Discoveries: disc,
-		Pstore:      ps,
-		Spill:       sp,
-	}
-	if s.store != nil {
-		st := s.store.Stats()
-		dur := &wire.DurableStats{
-			Datasets:        st.Datasets,
-			AppendRecords:   st.AppendRecords,
-			Syncs:           st.Syncs,
-			BatchedRecords:  st.BatchedRecords,
-			Snapshots:       st.Snapshots,
-			CompactErrors:   st.CompactErrors,
-			WALBytes:        st.WALBytes,
-			Recovered:       st.Recovered,
-			ReplayedRecords: st.ReplayedRecords,
-			TruncatedTails:  st.TruncatedTails,
-			Quarantined:     st.Quarantined,
-			Broken:          st.Broken,
-		}
-		for _, q := range s.recovery.Quarantined {
-			dur.QuarantinedSets = append(dur.QuarantinedSets, wire.QuarantinedDataset{
-				ID: q.ID, Reason: q.Reason, Path: q.Path,
-			})
-		}
-		resp.Durable = dur
-	}
-	if s.coord != nil || shc.active() {
-		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-		resp.Shard = &wire.ShardStats{
-			Dispatched:      shc.dispatched,
-			Remote:          shc.remote,
-			LocalFallbacks:  shc.localFallbacks,
-			DatasetsPushed:  shc.datasetsPushed,
-			ReceivedSets:    shc.receivedSets,
-			ReceivedBytes:   shc.receivedBytes,
-			DispatchTotalMS: ms(shc.dispatchTime),
-			StreamTotalMS:   ms(shc.streamTime),
-			MergeTotalMS:    ms(shc.mergeTime),
-			Served:          shc.served,
-			ServedSets:      shc.servedSets,
-			ServedErrors:    shc.servedErrors,
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
-// handleHealthz implements GET /healthz: 200 while serving, 503 once
-// draining so load balancers stop routing during shutdown.
+// handleVersion implements GET /v1/version: the running binary's build
+// identity, so a fleet operator can confirm what revision each worker
+// actually runs before chasing a behaviour difference.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Build())
+}
+
+// handleHealthz implements GET /healthz: pure liveness. It answers 200
+// for as long as the process can serve HTTP at all — including while
+// draining, when the process is alive and finishing in-flight work.
+// Routability questions belong to /readyz; an orchestrator that
+// restarts on failing liveness probes would otherwise kill a cleanly
+// draining process mid-drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz implements GET /readyz: readiness for new work. 503 (with
+// Retry-After, so a waiting client lands on the replacement process)
+// while draining, or while the durable layer holds sticky-broken
+// datasets — a degraded store serves reads but refuses the writes a
+// load balancer would route here.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if s.store != nil {
+		if n := s.store.Stats().Broken; n > 0 {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			writeError(w, http.StatusServiceUnavailable,
+				"durable store degraded: %d dataset(s) read-only until restart", n)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

@@ -17,15 +17,21 @@
 //     by server-wide caps, so a single heavy query cannot monopolise the
 //     process and overruns surface as partial results, not failures.
 //
-// Endpoints are versioned under /v1 (handlers.go); GET /healthz reports
-// liveness and drain state. Shutdown drains: in-flight discoveries finish
-// under their own budgets while new work is refused.
+// Endpoints are versioned under /v1 (handlers.go). The operational
+// surface (internal/obs, DESIGN.md §16): GET /healthz is pure liveness,
+// GET /readyz readiness (503 while draining or durably degraded), GET
+// /metrics the Prometheus exposition, GET /v1/version the build
+// identity. Every handler runs under the obs middleware — request-id
+// propagation, access logs, panic containment, per-request metrics.
+// Shutdown drains: in-flight discoveries finish under their own budgets
+// while new work is refused.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -38,6 +44,7 @@ import (
 	"repro/internal/fastfds"
 	"repro/internal/fd"
 	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/pstore"
 	"repro/internal/tane"
 )
@@ -100,6 +107,11 @@ type Config struct {
 	// DefaultShards is the shard count for coordinated discoveries whose
 	// request leaves Shards at 0. 0 = one shard per worker endpoint.
 	DefaultShards int
+	// Logger receives the server's structured logs (access lines, span
+	// events, discovery outcomes). nil = silent, the right default for
+	// tests and embedded use; depminerd wires os.Stderr through the
+	// layered flag/env config (internal/obs).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +150,13 @@ type Server struct {
 	cache *resultCache
 	jobs  *jobQueue
 	mux   *http.ServeMux
+
+	// log is the structured logger (never nil — obs.Nop() when
+	// Config.Logger is unset). obsReg is the metrics registry serving
+	// GET /metrics; handler is the mux wrapped in the obs middleware.
+	log     *slog.Logger
+	obsReg  *obs.Registry
+	handler http.Handler
 
 	// baseCtx parents async jobs, so a forced shutdown can cancel them.
 	baseCtx    context.Context
@@ -188,6 +207,10 @@ func New(cfg Config) (*Server, error) {
 		baseCancel: cancel,
 		started:    time.Now(),
 	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = obs.Nop()
+	}
 	s.stats.phases = make(map[string]time.Duration)
 	s.plans = newPlanCache(planCacheCap)
 	if len(cfg.WorkerEndpoints) > 0 {
@@ -223,9 +246,27 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
+	s.obsReg = obs.NewRegistry()
+	obs.RegisterBuildInfo(s.obsReg, metricPrefix)
+	s.registerStatsMetrics(s.obsReg)
 	s.routes()
+	s.handler = obs.Middleware(obs.MiddlewareConfig{
+		Logger:  s.log,
+		Metrics: obs.NewHTTPMetrics(s.obsReg, metricPrefix),
+	}, s.mux)
+	b := obs.Build()
+	s.log.Info("server configured",
+		slog.String("revision", b.Revision),
+		slog.String("go_version", b.GoVersion),
+		slog.Int("max_jobs", cfg.MaxJobs),
+		slog.Bool("durable", s.store != nil),
+		slog.Bool("coordinator", s.coord != nil))
 	return s, nil
 }
+
+// Metrics exposes the server's metrics registry, so an embedding
+// process (or a test) can scrape without going through HTTP.
+func (s *Server) Metrics() *obs.Registry { return s.obsReg }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegister)
@@ -236,13 +277,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/shard/agree", s.handleShardAgree)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.Handle("GET /metrics", s.obsReg.Handler())
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // Draining reports whether Shutdown has begun.
@@ -315,6 +359,19 @@ func (d *discoveryStats) addPhases(st core.Stats) {
 	d.phases["max_sets"] += st.MaxSets.Duration
 	d.phases["lhs"] += st.LHS.Duration
 	d.phases["armstrong"] += st.Armstrong.Duration
+}
+
+// logPhases emits the per-discovery phase span event: Result.Stats
+// timings as one structured debug line, joined to the request by the
+// context's attribute set. The same numbers accumulate into
+// phase_seconds_total; this is the per-request view of them.
+func (s *Server) logPhases(ctx context.Context, st core.Stats) {
+	obs.Event(ctx, s.log, "discovery phases",
+		obs.Duration("partition", st.Partition.Duration),
+		obs.Duration("agree_sets", st.AgreeSets.Duration),
+		obs.Duration("max_sets", st.MaxSets.Duration),
+		obs.Duration("lhs", st.LHS.Duration),
+		obs.Duration("armstrong", st.Armstrong.Duration))
 }
 
 func (d *discoveryStats) addSpill(st extsort.Stats) {

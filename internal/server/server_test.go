@@ -387,8 +387,13 @@ func TestDrainRefusesNewWork(t *testing.T) {
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
-	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining: status = %d, want 503", code)
+	// Liveness stays green during a drain — the process is alive and
+	// finishing work; only readiness flips.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz while draining: status = %d, want 200 (liveness)", code)
+	}
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: status = %d, want 503", code)
 	}
 	if code := postCSV(t, ts.URL+"/v1/datasets", relationCSV(t, relation.PaperExample()), nil); code != http.StatusServiceUnavailable {
 		t.Errorf("register while draining: status = %d, want 503", code)

@@ -45,6 +45,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fd"
 	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/wire"
@@ -226,6 +227,7 @@ func (s *Server) runDepminer(ctx context.Context, d *dataset, p discoverParams, 
 		s.stats.addPhases(res.Stats)
 		s.stats.addSpill(res.Stats.Spill)
 		s.stats.mu.Unlock()
+		s.logPhases(ctx, res.Stats)
 	}
 	if runErr != nil && !partial {
 		return nil, runErr
@@ -320,6 +322,12 @@ func (s *Server) runSharded(ctx context.Context, d *dataset, p discoverParams, s
 	wg.Wait()
 	resp.ShardsRemote = run.remote
 	resp.ShardsLocal = run.local
+	obs.Event(ctx, s.log, "shard fan-out done",
+		obs.Int("shards", len(shards)),
+		obs.Int("remote", run.remote),
+		obs.Int("local", run.local),
+		obs.Duration("dispatch", run.dispatchDur),
+		obs.Duration("stream", run.streamDur))
 	if run.firstErr != nil {
 		if guard.Governed(run.firstErr) {
 			return s.shardPartial(resp, start, budget, run.firstErr)
@@ -378,6 +386,10 @@ func (s *Server) runSharded(ctx context.Context, d *dataset, p discoverParams, s
 		s.stats.addPhases(st)
 		s.stats.addSpill(spill)
 		s.stats.mu.Unlock()
+		s.logPhases(ctx, st)
+		obs.Event(ctx, s.log, "shard merge done",
+			obs.Int("sets", len(fam)),
+			obs.Duration("merge", run.mergeDur))
 	}
 	if runErr != nil && !partial {
 		return nil, runErr
@@ -461,6 +473,10 @@ func (r *shardRun) failed() bool {
 // verification — falls back to the local sweep; only a local failure
 // (or a shared-budget overrun) can fail the shard.
 func (r *shardRun) runShard(ctx context.Context, i int, sh agree.Shard) {
+	mode := "failed"
+	span := obs.StartSpan(ctx, r.s.log, "shard",
+		obs.Int("shard", i), obs.Int("couple_start", sh.Start), obs.Int("couple_end", sh.End))
+	defer func() { span.End(obs.String("mode", mode)) }()
 	r.mu.Lock()
 	r.attempted++
 	r.mu.Unlock()
@@ -469,6 +485,7 @@ func (r *shardRun) runShard(ctx context.Context, i int, sh agree.Shard) {
 		r.mu.Lock()
 		r.remote++
 		r.mu.Unlock()
+		mode = "remote"
 		return
 	}
 	if guard.Governed(remoteErr) {
@@ -481,13 +498,22 @@ func (r *shardRun) runShard(ctx context.Context, i int, sh agree.Shard) {
 	if ctx.Err() != nil && r.failed() {
 		return // a sibling already failed the discovery
 	}
+	obs.Event(ctx, r.s.log, "shard falling back local",
+		obs.Int("shard", i), obs.String("remote_error", remoteErr.Error()))
 	r.computeLocal(ctx, sh, remoteErr)
+	if !r.failed() {
+		mode = "local"
+	}
 }
 
 func (r *shardRun) tryRemote(ctx context.Context, i int, sh agree.Shard) error {
 	if ferr := faultinject.Fire(faultinject.ShardDispatch); ferr != nil {
 		return ferr
 	}
+	// Forward the discovery's request id on the dispatch (and on any
+	// dataset push): the worker's middleware adopts it, so its log lines
+	// join the coordinator's under one id.
+	ctx = client.WithRequestID(ctx, obs.RequestID(ctx))
 	cl := r.s.coord.clients[i%len(r.s.coord.clients)]
 	req := wire.ShardRequest{
 		Fingerprint:   r.src.fp,
@@ -856,4 +882,12 @@ func (s *Server) handleShardAgree(w http.ResponseWriter, r *http.Request) {
 	s.stats.shard.served++
 	s.stats.shard.servedSets += res.Sets
 	s.stats.mu.Unlock()
+	// The context carries the coordinator's request id (adopted by the
+	// middleware from the dispatch header), so this line joins the
+	// coordinator's fan-out lines.
+	obs.Event(r.Context(), s.log, "shard served",
+		obs.String("fingerprint", req.Fingerprint),
+		obs.Int("couple_start", req.CoupleStart),
+		obs.Int("couple_end", req.CoupleEnd),
+		obs.Int64("sets", res.Sets))
 }

@@ -1,0 +1,60 @@
+// Command metricfield prints one value out of a Prometheus text
+// exposition read from stdin — the /metrics analogue of
+// scripts/jsonfield, used by the CI smoke steps to assert that the
+// observability counters actually moved.
+//
+// Usage:
+//
+//	curl -sS .../metrics | go run ./scripts/metricfield depminerd_discoveries_total
+//	curl -sS .../metrics | go run ./scripts/metricfield 'depminerd_http_requests_total{code="200",method="POST",route="/v1/discover"}'
+//
+// A bare metric name sums every series of that family (all label
+// combinations); a name with a label set selects that exact series.
+// Values print in Go's shortest float form ("3", "0.25"). Exits 1 if
+// stdin does not parse or nothing matches.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricfield <name|name{labels}> < metrics.txt")
+		os.Exit(1)
+	}
+	sel := os.Args[1]
+	series, err := obs.ParseText(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricfield: %v\n", err)
+		os.Exit(1)
+	}
+	m := obs.SeriesMap(series)
+
+	if strings.ContainsRune(sel, '{') {
+		v, ok := m[sel]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "metricfield: no series %q\n", sel)
+			os.Exit(1)
+		}
+		fmt.Println(strconv.FormatFloat(v, 'f', -1, 64))
+		return
+	}
+	sum, found := 0.0, false
+	for k, v := range m {
+		if k == sel || strings.HasPrefix(k, sel+"{") {
+			sum += v
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "metricfield: no family %q\n", sel)
+		os.Exit(1)
+	}
+	fmt.Println(strconv.FormatFloat(sum, 'f', -1, 64))
+}

@@ -22,6 +22,27 @@ const (
 	JobFailed  = "failed"
 )
 
+// RequestIDHeader carries the per-request correlation id. The server's
+// middleware adopts an incoming value (generating one otherwise), echoes
+// it on the response, and stamps it on every log line the request
+// produces; a shard coordinator forwards it on its worker dispatches, so
+// one id joins a discovery's log lines across the whole fleet.
+const RequestIDHeader = "X-Depminer-Request-Id"
+
+// VersionResponse is the body of GET /v1/version: what build is
+// serving, from the binary's embedded module and VCS metadata.
+type VersionResponse struct {
+	// Version is the main module version ("(devel)" for plain builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit the binary was built from, "unknown"
+	// when the build carried no VCS metadata.
+	Revision string `json:"revision"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
 // DatasetInfo is the wire description of a registered dataset.
 type DatasetInfo struct {
 	ID          string    `json:"id"`
